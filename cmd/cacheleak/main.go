@@ -1,0 +1,107 @@
+// Command cacheleak optimizes the (Vth, Tox) assignment of one cache under
+// a delay constraint, reproducing the paper's Section 4 methodology from
+// the command line.
+//
+// Usage:
+//
+//	cacheleak -size 16384 -scheme 2 -frac 0.5
+//	cacheleak -size 65536 -block 64 -assoc 8 -delay-ps 900
+//	cacheleak -size 16384 -curve 8
+//
+// With -curve N it prints the leakage/delay frontier at N budgets instead
+// of a single optimization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachecfg"
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		size    = flag.Int("size", 16*1024, "cache capacity in bytes")
+		block   = flag.Int("block", 32, "block size in bytes")
+		assoc   = flag.Int("assoc", 4, "associativity")
+		outBits = flag.Int("out", 64, "data output width in bits")
+		scheme  = flag.Int("scheme", 2, "assignment scheme: 1, 2 or 3")
+		delayPS = flag.Float64("delay-ps", 0, "delay budget in ps (overrides -frac)")
+		frac    = flag.Float64("frac", 0.5, "delay budget as a fraction of the feasible range")
+		curve   = flag.Int("curve", 0, "print a frontier of N budgets instead of one point")
+	)
+	flag.Parse()
+
+	cfg := cachecfg.Config{
+		Name:       "cache",
+		SizeBytes:  *size,
+		BlockBytes: *block,
+		Assoc:      *assoc,
+		OutputBits: *outBits,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	var sch opt.Scheme
+	switch *scheme {
+	case 1:
+		sch = opt.SchemeI
+	case 2:
+		sch = opt.SchemeII
+	case 3:
+		sch = opt.SchemeIII
+	default:
+		fatal(fmt.Errorf("unknown scheme %d", *scheme))
+	}
+
+	fmt.Printf("designing %v at 65nm...\n", cfg)
+	d, err := core.DesignCache(core.NewTechnology(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("organization: %v\n", d.Cache.Array)
+	lo, hi := d.DelayRange()
+	fmt.Printf("feasible access times: %.0f .. %.0f ps\n", units.ToPS(lo), units.ToPS(hi))
+
+	if *curve > 0 {
+		fmt.Printf("\n%v leakage/delay frontier:\n", sch)
+		fmt.Printf("  %-12s %-14s %s\n", "budget(ps)", "leakage(mW)", "assignment")
+		for _, r := range d.TradeoffCurve(sch, *curve) {
+			if !r.Feasible {
+				continue
+			}
+			fmt.Printf("  %-12.0f %-14.4f %v\n", units.ToPS(r.DelayS), units.ToMW(r.LeakageW), r.Assignment)
+		}
+		return
+	}
+
+	budget := lo + *frac*(hi-lo)
+	if *delayPS > 0 {
+		budget = units.FromPS(*delayPS)
+	}
+	r := d.OptimizeLeakage(sch, budget)
+	if !r.Feasible {
+		fatal(fmt.Errorf("no assignment meets %.0f ps", units.ToPS(budget)))
+	}
+	fmt.Printf("\n%v optimum under %.0f ps:\n", sch, units.ToPS(budget))
+	fmt.Printf("  leakage:     %.4f mW (fitted model)\n", units.ToMW(r.LeakageW))
+	leak, delay, energy := d.Evaluate(r.Assignment)
+	fmt.Printf("  verified:    %.4f mW, %.0f ps, %.2f pJ/access (netlist)\n",
+		units.ToMW(leak), units.ToPS(delay), units.ToPJ(energy))
+	for _, p := range components.Parts() {
+		op := r.Assignment[p]
+		pl := d.Cache.Part(p).Leakage(op)
+		fmt.Printf("  %-13s %v  leak=%.4f mW (sub %.4f / gate %.4f)\n",
+			p.String()+":", op, units.ToMW(pl.Total()), units.ToMW(pl.SubthresholdW), units.ToMW(pl.GateW))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cacheleak:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command characterize runs the circuit-level characterization of one cache
+// over the (Vth, Tox) grid — the repository's stand-in for the paper's
+// "extensive HSPICE simulation" — and prints the per-component samples
+// and/or the fitted analytical model coefficients.
+//
+// Usage:
+//
+//	characterize -size 16384                # fitted models + fit quality
+//	characterize -size 16384 -samples       # raw grid samples as CSV
+//	characterize -size 524288 -l2 -samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachecfg"
+	"repro/internal/charlib"
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		size    = flag.Int("size", 16*1024, "cache capacity in bytes")
+		l2      = flag.Bool("l2", false, "use the canonical L2 organization instead of L1")
+		samples = flag.Bool("samples", false, "dump raw characterization samples as CSV")
+	)
+	flag.Parse()
+
+	cfg := cachecfg.L1(*size)
+	if *l2 {
+		cfg = cachecfg.L2(*size)
+	}
+	tech := core.NewTechnology()
+	cache, err := components.New(tech, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	grid := charlib.DefaultGrid()
+	if *samples {
+		fmt.Println("component,vth_v,tox_a,leak_w,sub_w,gate_w,delay_s,energy_j")
+		for _, p := range components.Parts() {
+			ss, err := charlib.Characterize(cache.Part(p), grid)
+			if err != nil {
+				fatal(err)
+			}
+			for _, s := range ss {
+				fmt.Printf("%s,%g,%g,%g,%g,%g,%g,%g\n",
+					p, s.Vth, s.ToxA, s.LeakW, s.SubW, s.GateW, s.DelayS, s.EnergyJ)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("characterizing %v over %d grid points per component\n", cfg, grid.Points())
+	for _, p := range components.Parts() {
+		ss, err := charlib.Characterize(cache.Part(p), grid)
+		if err != nil {
+			fatal(err)
+		}
+		lm, ls, err := model.FitLeakage(ss)
+		if err != nil {
+			fatal(err)
+		}
+		dm, ds, err := model.FitDelay(ss)
+		if err != nil {
+			fatal(err)
+		}
+		em, es, err := model.FitEnergy(ss)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s:\n", p)
+		fmt.Printf("  leakage: %v   (%v)\n", lm, ls)
+		fmt.Printf("  delay:   %v   (%v)\n", dm, ds)
+		fmt.Printf("  energy:  E(T) = %.3g + %.3g*T J   (%v)\n", em.E0, em.E1, es)
+		// Show the corners for scale.
+		fast := ss[0]
+		slow := ss[len(ss)-1]
+		fmt.Printf("  corners: fast (%.2fV,%.0fA) leak=%s delay=%.0fps | slow (%.2fV,%.0fA) leak=%s delay=%.0fps\n",
+			fast.Vth, fast.ToxA, units.FormatSI(fast.LeakW, "W"), units.ToPS(fast.DelayS),
+			slow.Vth, slow.ToxA, units.FormatSI(slow.LeakW, "W"), units.ToPS(slow.DelayS))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation and writes them as ASCII (stdout) and CSV files.
+//
+// Usage:
+//
+//	figures                 # full-scale run (1M accesses per workload)
+//	figures -quick          # shorter simulations
+//	figures -outdir results # also write one CSV per artifact
+//	figures -plot           # include coarse terminal plots for figures
+//	figures -only fig2      # run a single artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use shorter workload simulations")
+		outdir = flag.String("outdir", "", "directory for CSV output (created if missing)")
+		plot   = flag.Bool("plot", false, "render coarse ASCII plots for figures")
+		only   = flag.String("only", "", "run only the artifact with this ID")
+		ext    = flag.Bool("ext", false, "also run the extension/ablation experiments")
+	)
+	flag.Parse()
+
+	env := exp.NewEnv()
+	if *quick {
+		env = exp.NewQuickEnv()
+	}
+
+	start := time.Now()
+	arts, err := env.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	if *ext {
+		extra, err := env.Extensions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		arts = append(arts, extra...)
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, a := range arts {
+		if *only != "" && a.ID != *only {
+			continue
+		}
+		fmt.Println(a.Render())
+		if *plot && a.Figure != nil {
+			fmt.Println(a.Figure.Plot(72, 24))
+		}
+		if *outdir != "" {
+			path := filepath.Join(*outdir, a.ID+".csv")
+			if err := os.WriteFile(path, []byte(a.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  [wrote %s]\n\n", path)
+		}
+	}
+	fmt.Printf("regenerated %d artifacts in %v\n", len(arts), time.Since(start).Round(time.Millisecond))
+}

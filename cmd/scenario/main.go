@@ -1,0 +1,62 @@
+// Command scenario runs a JSON-described cache-hierarchy study: simulate
+// the workload, optimize the L2 knobs under an AMAT budget, and optionally
+// run tuple-budget optimizations. Results are emitted as JSON.
+//
+// Usage:
+//
+//	scenario -f study.json
+//	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
+//
+// Example config:
+//
+//	{
+//	  "name": "my-soc",
+//	  "l1_kb": 32,
+//	  "l2_kb": 1024,
+//	  "workload": "average",
+//	  "amat_budget_ps": 1900,
+//	  "tuple_budgets": [[2,2],[2,3],[1,2]]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	file := flag.String("f", "", "scenario JSON file (default stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	cfg, err := scenario.Load(r)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := res.Render()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenario:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command tracegen writes a synthetic memory-reference trace to stdout or a
+// file, one access per line ("R 0xADDR" / "W 0xADDR"), for use with external
+// cache simulators or for inspecting the calibrated workloads.
+//
+// Usage:
+//
+//	tracegen -suite spec2000 -n 100000 > spec.trace
+//	tracegen -suite tpcc -n 1000000 -seed 7 -o tpcc.trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "spec2000", "workload: spec2000, specweb or tpcc")
+		n     = flag.Int("n", 100_000, "number of accesses")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var p trace.Params
+	switch *suite {
+	case "spec2000":
+		p = trace.SPEC2000(*seed)
+	case "specweb":
+		p = trace.SPECWEB(*seed)
+	case "tpcc":
+		p = trace.TPCC(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown suite %q\n", *suite)
+		os.Exit(1)
+	}
+	g, err := trace.New(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	for i := 0; i < *n; i++ {
+		a := g.Next()
+		op := byte('R')
+		if a.Write {
+			op = 'W'
+		}
+		fmt.Fprintf(bw, "%c 0x%x\n", op, a.Addr)
+	}
+}

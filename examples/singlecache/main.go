@@ -1,0 +1,44 @@
+// Singlecache reproduces the paper's Section 4 study on a 16 KB cache:
+// the Figure 1 knob slices, the Scheme I/II/III comparison, and the
+// structure of the optimal assignments.
+//
+//	go run ./examples/singlecache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	env := exp.NewQuickEnv()
+
+	fig1, err := env.Fig1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A coarse terminal rendering of Figure 1: watch the fixed-Vth curves
+	// span a narrow delay range and the Tox=10A curve flatten on its
+	// gate-leakage floor.
+	fmt.Println(fig1.Plot(72, 24))
+
+	schemes, err := env.SchemeComparison()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(schemes.ASCII())
+
+	asgn, err := env.SchemeAssignments()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(asgn.ASCII())
+
+	knob, err := env.KnobSensitivity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(knob.ASCII())
+}

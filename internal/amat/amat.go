@@ -1,0 +1,132 @@
+// Package amat computes the average memory access time and the total
+// energy-per-access objective used in Section 5 of the paper.
+//
+// AMAT follows the standard recursion
+//
+//	AMAT = t_L1 + m_L1 * (t_L2 + m_L2 * t_mem)
+//
+// with t the hit (access) times and m the local miss rates. The total
+// energy of one average access charges each level's dynamic energy at the
+// frequency it is exercised, main-memory energy per L2 miss, and every
+// level's leakage power over the AMAT window (leakage accrues whether or
+// not the level is hit — that is what makes oversized, leaky L2s lose).
+package amat
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// LevelStats describes one cache level's electrical and architectural state
+// under a particular knob assignment.
+type LevelStats struct {
+	Name string
+	// AccessTimeS is the level's hit time.
+	AccessTimeS float64
+	// LocalMissRate is the level's local miss rate under the workload.
+	LocalMissRate float64
+	// DynamicEnergyJ is the energy of one access to this level.
+	DynamicEnergyJ float64
+	// LeakageW is the level's total leakage power.
+	LeakageW float64
+}
+
+// Validate reports inconsistent inputs.
+func (l LevelStats) Validate() error {
+	if l.AccessTimeS <= 0 {
+		return fmt.Errorf("amat: %s: non-positive access time", l.Name)
+	}
+	if l.LocalMissRate < 0 || l.LocalMissRate > 1 {
+		return fmt.Errorf("amat: %s: miss rate %v outside [0,1]", l.Name, l.LocalMissRate)
+	}
+	if l.DynamicEnergyJ < 0 || l.LeakageW < 0 {
+		return fmt.Errorf("amat: %s: negative energy or leakage", l.Name)
+	}
+	return nil
+}
+
+// System is a two-level cache hierarchy backed by main memory.
+type System struct {
+	L1  LevelStats
+	L2  LevelStats
+	Mem mem.Spec
+}
+
+// Validate checks all levels.
+func (s System) Validate() error {
+	if err := s.L1.Validate(); err != nil {
+		return err
+	}
+	if err := s.L2.Validate(); err != nil {
+		return err
+	}
+	return s.Mem.Validate()
+}
+
+// AMAT returns the average memory access time (s).
+func (s System) AMAT() float64 {
+	return s.L1.AccessTimeS + s.L1.LocalMissRate*(s.L2.AccessTimeS+s.L2.LocalMissRate*s.Mem.LatencyS)
+}
+
+// GlobalL2MissRate returns L2 misses per L1 access.
+func (s System) GlobalL2MissRate() float64 {
+	return s.L1.LocalMissRate * s.L2.LocalMissRate
+}
+
+// LeakageW returns the hierarchy's total cache leakage power (the quantity
+// minimized in the paper's two-level experiments; main-memory standby power
+// is reported separately).
+func (s System) LeakageW() float64 {
+	return s.L1.LeakageW + s.L2.LeakageW
+}
+
+// DynamicEnergyJ returns the dynamic energy of one average access: L1 every
+// access, L2 on L1 misses, memory on L2 misses.
+func (s System) DynamicEnergyJ() float64 {
+	return s.L1.DynamicEnergyJ +
+		s.L1.LocalMissRate*(s.L2.DynamicEnergyJ+s.L2.LocalMissRate*s.Mem.EnergyJ)
+}
+
+// TotalEnergyJ returns the total energy attributed to one average access:
+// dynamic energy plus all leakage (and memory standby) integrated over the
+// AMAT window. This is the Figure 2 objective ("Total Energy (pJ)" vs
+// "AMAT (pS)").
+func (s System) TotalEnergyJ() float64 {
+	window := s.AMAT()
+	return s.DynamicEnergyJ() + (s.LeakageW()+s.Mem.StandbyW)*window
+}
+
+// EnergyBreakdown itemizes TotalEnergyJ for reporting.
+type EnergyBreakdown struct {
+	L1DynamicJ  float64
+	L2DynamicJ  float64
+	MemDynamicJ float64
+	L1LeakJ     float64
+	L2LeakJ     float64
+	MemStandbyJ float64
+}
+
+// Total sums the parts.
+func (b EnergyBreakdown) Total() float64 {
+	return b.L1DynamicJ + b.L2DynamicJ + b.MemDynamicJ + b.L1LeakJ + b.L2LeakJ + b.MemStandbyJ
+}
+
+// Breakdown itemizes the total energy of one average access.
+func (s System) Breakdown() EnergyBreakdown {
+	w := s.AMAT()
+	return EnergyBreakdown{
+		L1DynamicJ:  s.L1.DynamicEnergyJ,
+		L2DynamicJ:  s.L1.LocalMissRate * s.L2.DynamicEnergyJ,
+		MemDynamicJ: s.GlobalL2MissRate() * s.Mem.EnergyJ,
+		L1LeakJ:     s.L1.LeakageW * w,
+		L2LeakJ:     s.L2.LeakageW * w,
+		MemStandbyJ: s.Mem.StandbyW * w,
+	}
+}
+
+// SingleLevelAMAT returns the AMAT of an L1 backed directly by memory, used
+// in single-cache studies.
+func SingleLevelAMAT(l1 LevelStats, m mem.Spec) float64 {
+	return l1.AccessTimeS + l1.LocalMissRate*m.LatencyS
+}

@@ -1,0 +1,134 @@
+// Package cachecfg defines cache organization parameters (size, block size,
+// associativity) with validation, address-field arithmetic, and the
+// canonical L1/L2 design spaces explored in the paper's evaluation.
+package cachecfg
+
+import (
+	"fmt"
+)
+
+// AddressBits is the physical address width assumed throughout (the paper's
+// era targets 32-bit machines).
+const AddressBits = 32
+
+// Config describes one cache organization.
+type Config struct {
+	Name       string
+	SizeBytes  int // total data capacity
+	BlockBytes int // line size
+	Assoc      int // ways; must divide SizeBytes/BlockBytes
+	OutputBits int // width of the data port (bits delivered per access)
+}
+
+// KB is a convenience multiplier.
+const KB = 1024
+
+// MB is a convenience multiplier.
+const MB = 1024 * KB
+
+// Validate reports an error for inconsistent organizations.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cachecfg: non-positive parameter in %+v", c)
+	}
+	if !isPow2(c.SizeBytes) || !isPow2(c.BlockBytes) || !isPow2(c.Assoc) {
+		return fmt.Errorf("cachecfg: size, block and associativity must be powers of two: %+v", c)
+	}
+	if c.BlockBytes > c.SizeBytes {
+		return fmt.Errorf("cachecfg: block (%d) exceeds size (%d)", c.BlockBytes, c.SizeBytes)
+	}
+	if c.Lines()%c.Assoc != 0 || c.Sets() == 0 {
+		return fmt.Errorf("cachecfg: associativity %d does not divide %d lines", c.Assoc, c.Lines())
+	}
+	if c.OutputBits <= 0 {
+		return fmt.Errorf("cachecfg: OutputBits must be positive, got %d", c.OutputBits)
+	}
+	return nil
+}
+
+// Lines returns the number of cache lines.
+func (c Config) Lines() int { return c.SizeBytes / c.BlockBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+// OffsetBits returns the number of block-offset address bits.
+func (c Config) OffsetBits() int { return log2(c.BlockBytes) }
+
+// IndexBits returns the number of set-index address bits.
+func (c Config) IndexBits() int { return log2(c.Sets()) }
+
+// TagBits returns the number of tag bits per line.
+func (c Config) TagBits() int { return AddressBits - c.IndexBits() - c.OffsetBits() }
+
+// DataBits returns the total number of data bits stored.
+func (c Config) DataBits() int { return c.SizeBytes * 8 }
+
+// TagArrayBits returns the total number of tag bits stored (tag + valid +
+// dirty + replacement state, approximated as tag+3 per line).
+func (c Config) TagArrayBits() int { return c.Lines() * (c.TagBits() + 3) }
+
+// String renders e.g. "16KB/32B/4-way".
+func (c Config) String() string {
+	size := fmt.Sprintf("%dB", c.SizeBytes)
+	switch {
+	case c.SizeBytes >= MB && c.SizeBytes%MB == 0:
+		size = fmt.Sprintf("%dMB", c.SizeBytes/MB)
+	case c.SizeBytes >= KB && c.SizeBytes%KB == 0:
+		size = fmt.Sprintf("%dKB", c.SizeBytes/KB)
+	}
+	return fmt.Sprintf("%s/%dB/%d-way", size, c.BlockBytes, c.Assoc)
+}
+
+// L1 returns the canonical L1 organization of the given size: 32 B blocks,
+// 4-way (capped by the line count), 64-bit output.
+func L1(sizeBytes int) Config {
+	return Config{
+		Name:       "L1",
+		SizeBytes:  sizeBytes,
+		BlockBytes: 32,
+		Assoc:      min(4, sizeBytes/32),
+		OutputBits: 64,
+	}
+}
+
+// L2 returns the canonical L2 organization of the given size: 64 B blocks,
+// 8-way, 256-bit output (one L1 block per two beats).
+func L2(sizeBytes int) Config {
+	return Config{
+		Name:       "L2",
+		SizeBytes:  sizeBytes,
+		BlockBytes: 64,
+		Assoc:      min(8, sizeBytes/64),
+		OutputBits: 256,
+	}
+}
+
+// L1Sizes is the paper's L1 design space (Section 5: "L1 caches ranging
+// from 4K to 64K").
+func L1Sizes() []int {
+	return []int{4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB}
+}
+
+// L2Sizes is the L2 design space swept in Section 5.
+func L2Sizes() []int {
+	return []int{256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB}
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package cachecfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	for _, size := range append(L1Sizes(), L2Sizes()...) {
+		for _, c := range []Config{L1(size), L2(size)} {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%v: %v", c, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, BlockBytes: 32, Assoc: 1, OutputBits: 64},
+		{SizeBytes: 16 * KB, BlockBytes: 0, Assoc: 1, OutputBits: 64},
+		{SizeBytes: 16 * KB, BlockBytes: 32, Assoc: 0, OutputBits: 64},
+		{SizeBytes: 3000, BlockBytes: 32, Assoc: 2, OutputBits: 64},    // not pow2
+		{SizeBytes: 16 * KB, BlockBytes: 48, Assoc: 2, OutputBits: 64}, // not pow2
+		{SizeBytes: 32, BlockBytes: 64, Assoc: 1, OutputBits: 64},      // block > size
+		{SizeBytes: 16 * KB, BlockBytes: 32, Assoc: 2, OutputBits: 0},  // no output
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be rejected", c)
+		}
+	}
+}
+
+func TestAddressArithmetic(t *testing.T) {
+	c := Config{SizeBytes: 16 * KB, BlockBytes: 32, Assoc: 4, OutputBits: 64}
+	if got := c.Lines(); got != 512 {
+		t.Errorf("Lines = %d, want 512", got)
+	}
+	if got := c.Sets(); got != 128 {
+		t.Errorf("Sets = %d, want 128", got)
+	}
+	if got := c.OffsetBits(); got != 5 {
+		t.Errorf("OffsetBits = %d, want 5", got)
+	}
+	if got := c.IndexBits(); got != 7 {
+		t.Errorf("IndexBits = %d, want 7", got)
+	}
+	if got := c.TagBits(); got != 32-7-5 {
+		t.Errorf("TagBits = %d, want 20", got)
+	}
+}
+
+func TestBitFieldsPartitionAddress(t *testing.T) {
+	f := func(szExp, blkExp, asExp uint8) bool {
+		size := 1 << (10 + szExp%13) // 1KB .. 4MB
+		block := 1 << (4 + blkExp%4) // 16..128B
+		assoc := 1 << (asExp % 5)    // 1..16
+		c := Config{SizeBytes: size, BlockBytes: block, Assoc: assoc, OutputBits: 64}
+		if c.Validate() != nil {
+			return true // skip invalid combos
+		}
+		return c.OffsetBits()+c.IndexBits()+c.TagBits() == AddressBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataAndTagBits(t *testing.T) {
+	c := L1(16 * KB)
+	if got := c.DataBits(); got != 16*KB*8 {
+		t.Errorf("DataBits = %d", got)
+	}
+	if got := c.TagArrayBits(); got != c.Lines()*(c.TagBits()+3) {
+		t.Errorf("TagArrayBits = %d", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		c    Config
+		want string
+	}{
+		{L1(16 * KB), "16KB/32B/4-way"},
+		{L2(1 * MB), "1MB/64B/8-way"},
+		{Config{SizeBytes: 512, BlockBytes: 32, Assoc: 1, OutputBits: 8}, "512B/32B/1-way"},
+	}
+	for _, cse := range cases {
+		if got := cse.c.String(); got != cse.want {
+			t.Errorf("String = %q, want %q", got, cse.want)
+		}
+	}
+}
+
+func TestSmallL1AssocCapped(t *testing.T) {
+	// A 128B L1 with 32B blocks has only 4 lines; assoc must not exceed it.
+	c := L1(128)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("tiny L1 invalid: %v", err)
+	}
+	if c.Assoc > c.Lines() {
+		t.Errorf("assoc %d exceeds lines %d", c.Assoc, c.Lines())
+	}
+}
+
+func TestDesignSpaces(t *testing.T) {
+	l1 := L1Sizes()
+	if l1[0] != 4*KB || l1[len(l1)-1] != 64*KB {
+		t.Errorf("L1 space = %v", l1)
+	}
+	l2 := L2Sizes()
+	if l2[0] != 256*KB || l2[len(l2)-1] != 4*MB {
+		t.Errorf("L2 space = %v", l2)
+	}
+	for i := 1; i < len(l1); i++ {
+		if l1[i] <= l1[i-1] {
+			t.Error("L1 sizes must be increasing")
+		}
+	}
+	for i := 1; i < len(l2); i++ {
+		if l2[i] <= l2[i-1] {
+			t.Error("L2 sizes must be increasing")
+		}
+	}
+}

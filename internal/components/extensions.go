@@ -1,0 +1,70 @@
+package components
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/sram"
+)
+
+// This file holds extensions beyond the paper's core experiments: the
+// drowsy-cell dynamic leakage state (from the paper's related work) and an
+// alternative delay-composition model used as an ablation of the paper's
+// delay-summation assumption.
+
+// LeakageWithDrowsy returns the cache's leakage when only awakeFraction of
+// the cell array is at full supply and the rest sits in the drowsy
+// retention state. Periphery, sense amps and drivers are unaffected (they
+// must answer instantly). This composes with the paper's static knobs: a
+// drowsy cell still benefits from high Vth and thick Tox.
+func (c *Cache) LeakageWithDrowsy(a Assignment, awakeFraction float64) (circuit.Leakage, error) {
+	if awakeFraction < 0 || awakeFraction > 1 {
+		return circuit.Leakage{}, fmt.Errorf("components: awake fraction %v outside [0,1]", awakeFraction)
+	}
+	var total circuit.Leakage
+	for i, part := range c.parts {
+		if PartID(i) != PartCellArray {
+			total.Add(part.Leakage(a[i]), 1)
+			continue
+		}
+		ca, ok := part.(*cellArray)
+		if !ok {
+			return circuit.Leakage{}, fmt.Errorf("components: cell array part has unexpected type %T", part)
+		}
+		total.Add(ca.leakageDrowsy(a[i], awakeFraction), 1)
+	}
+	return total, nil
+}
+
+// leakageDrowsy splits the cell population between awake and drowsy states;
+// all other array structures (sense amps, precharge, wordline drivers)
+// remain fully on.
+func (ca *cellArray) leakageDrowsy(op device.OperatingPoint, awakeFraction float64) circuit.Leakage {
+	nl := &circuit.Netlist{Name: "cell-array-drowsy"}
+	cells := float64(ca.arr.TotalCells())
+	nl.AddChild(ca.cell.Netlist(), cells*awakeFraction)
+	nl.AddChild(ca.cell.DrowsyNetlist(), cells*(1-awakeFraction))
+	nl.AddChild(sram.SenseAmp(ca.t), float64(ca.arr.SenseAmps()))
+	nl.AddChild(sram.Precharge(ca.t), float64(ca.arr.Cols*ca.arr.NSub))
+	nl.AddChild(circuit.Inverter("wldrv", ca.chainWidth(op), 1), float64(ca.arr.Rows*ca.arr.NSub))
+	return nl.LeakagePower(ca.t, op)
+}
+
+// AccessTimeOverlapped returns the access time under an optimistic
+// composition in which the address-bus flight overlaps the row decode
+// (address bits stream into per-subarray predecoders as they arrive), so
+// only the slower of the two gates the wordline. The paper assumes the
+// plain sum; comparing the two quantifies how conservative that assumption
+// is (see the delay-composition ablation experiment).
+func (c *Cache) AccessTimeOverlapped(a Assignment) float64 {
+	addr := c.parts[PartAddrDrivers].Delay(a[PartAddrDrivers])
+	dec := c.parts[PartDecoder].Delay(a[PartDecoder])
+	arr := c.parts[PartCellArray].Delay(a[PartCellArray])
+	data := c.parts[PartDataDrivers].Delay(a[PartDataDrivers])
+	front := addr
+	if dec > front {
+		front = dec
+	}
+	return front + arr + data
+}

@@ -1,0 +1,87 @@
+package components
+
+import (
+	"testing"
+
+	"repro/internal/cachecfg"
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+func TestDrowsyLeakageBounds(t *testing.T) {
+	c := newL1(t, 16*cachecfg.KB)
+	a := Uniform(device.OP(0.25, 11))
+	full := c.Leakage(a).Total()
+
+	awake, err := c.LeakageWithDrowsy(a, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(awake.Total(), full, 1e-9, 0) {
+		t.Errorf("awake=1 drowsy leakage %v != plain leakage %v", awake.Total(), full)
+	}
+
+	drowsy, err := c.LeakageWithDrowsy(a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drowsy.Total() >= full {
+		t.Errorf("drowsy leakage %v should be below full %v", drowsy.Total(), full)
+	}
+	// With 90% of cells drowsy, the cell-array subthreshold should collapse
+	// substantially (>2x overall for a cell-dominated cache).
+	if full/drowsy.Total() < 1.5 {
+		t.Errorf("drowsy saving only %vx", full/drowsy.Total())
+	}
+}
+
+func TestDrowsyMonotoneInAwakeFraction(t *testing.T) {
+	c := newL1(t, 16*cachecfg.KB)
+	a := Uniform(device.OP(0.25, 11))
+	prev := -1.0
+	for _, awake := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		l, err := c.LeakageWithDrowsy(a, awake)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Total() <= prev {
+			t.Errorf("leakage not increasing with awake fraction at %v", awake)
+		}
+		prev = l.Total()
+	}
+}
+
+func TestDrowsyRejectsBadFraction(t *testing.T) {
+	c := newL1(t, 16*cachecfg.KB)
+	a := Uniform(device.OP(0.25, 11))
+	for _, bad := range []float64{-0.1, 1.1} {
+		if _, err := c.LeakageWithDrowsy(a, bad); err == nil {
+			t.Errorf("awake fraction %v accepted", bad)
+		}
+	}
+}
+
+func TestOverlappedNeverSlower(t *testing.T) {
+	c := newL1(t, 16*cachecfg.KB)
+	for _, op := range []device.OperatingPoint{
+		device.OP(0.20, 10), device.OP(0.35, 12), device.OP(0.50, 14),
+	} {
+		a := Uniform(op)
+		sum := c.AccessTime(a)
+		over := c.AccessTimeOverlapped(a)
+		if over > sum {
+			t.Errorf("%v: overlapped %v exceeds sum %v", op, over, sum)
+		}
+		// The overlap can save at most the smaller of addr/decoder delays.
+		addr := c.Part(PartAddrDrivers).Delay(op)
+		dec := c.Part(PartDecoder).Delay(op)
+		saving := sum - over
+		maxSave := addr
+		if dec < maxSave {
+			maxSave = dec
+		}
+		if saving > maxSave*(1+1e-9) {
+			t.Errorf("%v: saving %v exceeds the overlap bound %v", op, saving, maxSave)
+		}
+	}
+}

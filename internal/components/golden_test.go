@@ -1,0 +1,66 @@
+package components
+
+import (
+	"testing"
+
+	"repro/internal/cachecfg"
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// Golden regression values pin the calibrated physics at three named
+// corners. They protect against accidental drift in the device constants,
+// the netlist inventories, or the geometry model. An intentional
+// recalibration should regenerate them (the capture loop is this test body
+// with the expectations printed instead of compared) and explain the change.
+//
+// Tolerance is 0.5%: loose enough for floating-point reassociation, tight
+// enough to catch any real modelling change.
+var goldenCorners = []struct {
+	cfg       string
+	vth, toxA float64
+	subW      float64
+	gateW     float64
+	accessS   float64
+	dynJ      float64
+	areaM2    float64
+}{
+	{"16KB/32B/4-way", 0.2, 10, 1.442850e-02, 5.183196e-03, 5.537576e-10, 2.156578e-11, 1.666179e-07},
+	{"16KB/32B/4-way", 0.35, 12, 3.965842e-04, 7.115328e-04, 8.244602e-10, 2.183230e-11, 1.836962e-07},
+	{"16KB/32B/4-way", 0.5, 14, 1.088798e-05, 9.709735e-05, 1.379152e-09, 2.210017e-11, 2.016077e-07},
+	{"512KB/64B/8-way", 0.2, 10, 4.078419e-01, 1.475233e-01, 1.209729e-09, 1.601819e-10, 5.083339e-06},
+	{"512KB/64B/8-way", 0.35, 12, 1.119896e-02, 2.023667e-02, 1.519500e-09, 1.633916e-10, 5.604381e-06},
+	{"512KB/64B/8-way", 0.5, 14, 3.072709e-04, 2.760421e-03, 2.123415e-09, 1.666195e-10, 6.150840e-06},
+}
+
+func TestGoldenCorners(t *testing.T) {
+	tech := device.Default65nm()
+	caches := map[string]*Cache{}
+	for _, cfg := range []cachecfg.Config{cachecfg.L1(16 * cachecfg.KB), cachecfg.L2(512 * cachecfg.KB)} {
+		c, err := New(tech, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[cfg.String()] = c
+	}
+	const tol = 5e-3
+	for _, g := range goldenCorners {
+		c := caches[g.cfg]
+		if c == nil {
+			t.Fatalf("missing cache %s", g.cfg)
+		}
+		a := Uniform(device.OP(g.vth, g.toxA))
+		l := c.Leakage(a)
+		check := func(name string, got, want float64) {
+			if !units.ApproxEqual(got, want, tol, 0) {
+				t.Errorf("%s @ (%.2fV, %.0fA): %s = %.6e, golden %.6e",
+					g.cfg, g.vth, g.toxA, name, got, want)
+			}
+		}
+		check("subthreshold", l.SubthresholdW, g.subW)
+		check("gate", l.GateW, g.gateW)
+		check("access time", c.AccessTime(a), g.accessS)
+		check("dynamic energy", c.DynamicEnergy(a), g.dynJ)
+		check("area", c.AreaM2(a), g.areaM2)
+	}
+}

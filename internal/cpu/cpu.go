@@ -1,0 +1,115 @@
+// Package cpu converts memory-system metrics into program-level time and
+// energy, completing the paper's "entire microprocessor memory system"
+// picture: an in-order core issues instructions at a base CPI, a fraction
+// of them access memory, and every lost memory cycle costs core energy —
+// so cache knob choices feed back into whole-program energy.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/amat"
+)
+
+// Spec describes a simple in-order core of the paper's era.
+type Spec struct {
+	Name string
+	// ClockHz is the core frequency.
+	ClockHz float64
+	// BaseCPI is the cycles per instruction with a perfect (single-cycle)
+	// memory system.
+	BaseCPI float64
+	// MemRefsPerInstr is the fraction of instructions that reference memory.
+	MemRefsPerInstr float64
+	// CoreDynamicJPerInstr is the core's switching energy per instruction.
+	CoreDynamicJPerInstr float64
+	// CoreLeakageW is the core's (non-cache) leakage power.
+	CoreLeakageW float64
+}
+
+// Default65nmCore returns a 2 GHz in-order core: base CPI 1, ~35% memory
+// instructions, 100 pJ/instruction of core switching.
+func Default65nmCore() Spec {
+	return Spec{
+		Name:                 "inorder-2GHz",
+		ClockHz:              2e9,
+		BaseCPI:              1.0,
+		MemRefsPerInstr:      0.35,
+		CoreDynamicJPerInstr: 100e-12,
+		CoreLeakageW:         200e-3,
+	}
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	if s.ClockHz <= 0 {
+		return fmt.Errorf("cpu: non-positive clock %v", s.ClockHz)
+	}
+	if s.BaseCPI <= 0 {
+		return fmt.Errorf("cpu: non-positive base CPI %v", s.BaseCPI)
+	}
+	if s.MemRefsPerInstr < 0 || s.MemRefsPerInstr > 1 {
+		return fmt.Errorf("cpu: memory reference fraction %v outside [0,1]", s.MemRefsPerInstr)
+	}
+	if s.CoreDynamicJPerInstr < 0 || s.CoreLeakageW < 0 {
+		return fmt.Errorf("cpu: negative energy/leakage")
+	}
+	return nil
+}
+
+// CycleS returns the clock period.
+func (s Spec) CycleS() float64 { return 1 / s.ClockHz }
+
+// Metrics summarizes a program's execution on the core + memory system.
+type Metrics struct {
+	CPI float64 // effective cycles per instruction
+	// TimePerInstrS is the wall-clock time per instruction.
+	TimePerInstrS float64
+	// EnergyPerInstrJ is the total (core + memory hierarchy) energy per
+	// instruction.
+	EnergyPerInstrJ float64
+	// MemoryShare is the fraction of EnergyPerInstrJ attributable to the
+	// memory system (dynamic + cache leakage + memory standby).
+	MemoryShare float64
+	// LeakageShare is the fraction of EnergyPerInstrJ from leakage of any
+	// kind (core + caches + memory standby).
+	LeakageShare float64
+}
+
+// Run evaluates the core against a memory system: the AMAT beyond one cycle
+// stalls the pipeline on every memory instruction (blocking cache model, as
+// in the paper's era of in-order cores).
+func (s Spec) Run(sys amat.System) (Metrics, error) {
+	if err := s.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if err := sys.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	cycle := s.CycleS()
+	amatCycles := sys.AMAT() / cycle
+	stall := amatCycles - 1
+	if stall < 0 {
+		stall = 0
+	}
+	cpi := s.BaseCPI + s.MemRefsPerInstr*stall
+	timePerInstr := cpi * cycle
+
+	memDynamic := s.MemRefsPerInstr * sys.DynamicEnergyJ()
+	cacheLeak := sys.LeakageW() * timePerInstr
+	memStandby := sys.Mem.StandbyW * timePerInstr
+	coreLeak := s.CoreLeakageW * timePerInstr
+	total := s.CoreDynamicJPerInstr + memDynamic + cacheLeak + memStandby + coreLeak
+
+	return Metrics{
+		CPI:             cpi,
+		TimePerInstrS:   timePerInstr,
+		EnergyPerInstrJ: total,
+		MemoryShare:     (memDynamic + cacheLeak + memStandby) / total,
+		LeakageShare:    (cacheLeak + memStandby + coreLeak) / total,
+	}, nil
+}
+
+// EDP returns the energy-delay product per instruction, a common combined
+// figure of merit for power-performance trade-offs.
+func (m Metrics) EDP() float64 { return m.EnergyPerInstrJ * m.TimePerInstrS }

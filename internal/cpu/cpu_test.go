@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/amat"
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+func system() amat.System {
+	return amat.System{
+		L1: amat.LevelStats{Name: "L1", AccessTimeS: 600e-12, LocalMissRate: 0.05,
+			DynamicEnergyJ: 20e-12, LeakageW: 10e-3},
+		L2: amat.LevelStats{Name: "L2", AccessTimeS: 1500e-12, LocalMissRate: 0.20,
+			DynamicEnergyJ: 150e-12, LeakageW: 50e-3},
+		Mem: mem.DefaultDDR(),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default65nmCore().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{ClockHz: 0, BaseCPI: 1},
+		{ClockHz: 1e9, BaseCPI: 0},
+		{ClockHz: 1e9, BaseCPI: 1, MemRefsPerInstr: 1.5},
+		{ClockHz: 1e9, BaseCPI: 1, MemRefsPerInstr: 0.3, CoreLeakageW: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	core := Default65nmCore()
+	m, err := core.Run(system())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AMAT ~1175ps at 2GHz = 2.35 cycles -> CPI = 1 + 0.35*1.35 ~ 1.47.
+	if m.CPI < 1.2 || m.CPI > 2.5 {
+		t.Errorf("CPI = %v, want ~1.5", m.CPI)
+	}
+	if m.TimePerInstrS <= 0 || m.EnergyPerInstrJ <= 0 {
+		t.Fatalf("non-positive metrics: %+v", m)
+	}
+	if m.MemoryShare <= 0 || m.MemoryShare >= 1 {
+		t.Errorf("memory share = %v", m.MemoryShare)
+	}
+	if m.LeakageShare <= 0 || m.LeakageShare >= 1 {
+		t.Errorf("leakage share = %v", m.LeakageShare)
+	}
+	// Energy per instruction for a 2005-class core: hundreds of pJ.
+	if pj := units.ToPJ(m.EnergyPerInstrJ); pj < 50 || pj > 2000 {
+		t.Errorf("energy/instr = %v pJ", pj)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	core := Default65nmCore()
+	bad := system()
+	bad.L1.LocalMissRate = 2
+	if _, err := core.Run(bad); err == nil {
+		t.Error("bad system accepted")
+	}
+	badCore := core
+	badCore.ClockHz = 0
+	if _, err := badCore.Run(system()); err == nil {
+		t.Error("bad core accepted")
+	}
+}
+
+func TestSlowerMemoryRaisesCPIAndEnergy(t *testing.T) {
+	core := Default65nmCore()
+	fast, err := core.Run(system())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := system()
+	slow.L1.LocalMissRate = 0.15 // more misses -> higher AMAT
+	sm, err := core.Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.CPI <= fast.CPI {
+		t.Error("higher miss rate must raise CPI")
+	}
+	if sm.EnergyPerInstrJ <= fast.EnergyPerInstrJ {
+		t.Error("higher miss rate must raise energy per instruction")
+	}
+}
+
+func TestLeakierCacheRaisesEnergyNotCPI(t *testing.T) {
+	core := Default65nmCore()
+	base, _ := core.Run(system())
+	leaky := system()
+	leaky.L2.LeakageW *= 10
+	lm, err := core.Run(leaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.CPI != base.CPI {
+		t.Error("leakage must not change CPI")
+	}
+	if lm.EnergyPerInstrJ <= base.EnergyPerInstrJ {
+		t.Error("leakage must raise energy per instruction")
+	}
+	if lm.LeakageShare <= base.LeakageShare {
+		t.Error("leakage share must grow")
+	}
+}
+
+func TestSubCycleAMATMeansNoStall(t *testing.T) {
+	core := Default65nmCore()
+	fast := system()
+	fast.L1.AccessTimeS = 100e-12 // well under one 500ps cycle
+	fast.L1.LocalMissRate = 0
+	m, err := core.Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CPI != core.BaseCPI {
+		t.Errorf("CPI = %v, want base %v with sub-cycle AMAT", m.CPI, core.BaseCPI)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	m := Metrics{EnergyPerInstrJ: 2, TimePerInstrS: 3}
+	if m.EDP() != 6 {
+		t.Errorf("EDP = %v", m.EDP())
+	}
+}

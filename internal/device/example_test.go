@@ -1,0 +1,34 @@
+package device_test
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// The two knobs the paper optimizes: raising Vth collapses subthreshold
+// leakage; thickening Tox collapses gate tunnelling. Both slow the device.
+func ExampleTechnology_OffCurrent() {
+	tech := device.Default65nm()
+	w := units.Micrometre
+	for _, op := range []device.OperatingPoint{
+		device.OP(0.20, 10),
+		device.OP(0.50, 10),
+	} {
+		ioff := tech.OffCurrent(device.NMOS, w, op)
+		ig := tech.GateLeakCurrent(device.NMOS, w, op, tech.Vdd)
+		fmt.Printf("%v: Ioff=%s Igate=%s\n", op,
+			units.FormatSI(ioff, "A/um"), units.FormatSI(ig, "A/um"))
+	}
+	// Output:
+	// (Vth=0.20V, Tox=10.0A): Ioff=300nA/um Igate=158nA/um
+	// (Vth=0.50V, Tox=10.0A): Ioff=223pA/um Igate=158nA/um
+}
+
+func ExampleTechnology_ScaleFactor() {
+	tech := device.Default65nm()
+	fmt.Printf("cell linear growth at 14A: %.2fx\n", tech.ScaleFactor(device.OP(0.3, 14)))
+	// Output:
+	// cell linear growth at 14A: 1.10x
+}

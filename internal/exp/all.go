@@ -1,0 +1,94 @@
+package exp
+
+import "fmt"
+
+// Artifact is one reproduced figure or table.
+type Artifact struct {
+	ID     string
+	Figure *Figure // nil for tables
+	Table  *Table  // nil for figures
+}
+
+// Render returns the artifact's ASCII form.
+func (a Artifact) Render() string {
+	if a.Figure != nil {
+		return a.Figure.ASCII()
+	}
+	if a.Table != nil {
+		return a.Table.ASCII()
+	}
+	return "(empty artifact)\n"
+}
+
+// CSV returns the artifact's CSV form.
+func (a Artifact) CSV() string {
+	if a.Figure != nil {
+		return a.Figure.CSV()
+	}
+	if a.Table != nil {
+		return a.Table.CSV()
+	}
+	return ""
+}
+
+// All runs every experiment in the paper's order and returns the artifacts.
+// An error in any experiment aborts the run: partial evaluations are worse
+// than loud failures in a reproduction.
+func (e *Env) All() ([]Artifact, error) {
+	var out []Artifact
+
+	addF := func(f Figure, err error) error {
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", f.ID, err)
+		}
+		fc := f
+		out = append(out, Artifact{ID: f.ID, Figure: &fc})
+		return nil
+	}
+	addT := func(t Table, err error) error {
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", t.ID, err)
+		}
+		tc := t
+		out = append(out, Artifact{ID: t.ID, Table: &tc})
+		return nil
+	}
+
+	if err := addF(e.Fig1()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.SchemeComparison()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.SchemeAssignments()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.KnobSensitivity()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.MissRateTable()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.L2SizeSweep(false)); err != nil {
+		return nil, err
+	}
+	if err := addT(e.L2SizeSweep(true)); err != nil {
+		return nil, err
+	}
+	if err := addT(e.L1Sweep()); err != nil {
+		return nil, err
+	}
+	if err := addF(e.Fig2()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.Fig2Summary()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.BaselineComparison()); err != nil {
+		return nil, err
+	}
+	if err := addT(e.FitQuality()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+// Package exp is the experiment harness: it regenerates every figure and
+// table of the paper's evaluation from this repository's substrates, and
+// renders them as ASCII tables, CSV, and coarse terminal plots.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records the
+// paper-vs-measured comparison produced from this package's output.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cachecfg"
+	"repro/internal/charlib"
+	"repro/internal/components"
+	"repro/internal/device"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Env carries the shared state of an experiment run: the technology, the
+// workload seed and simulation length, and lazily built caches, fitted
+// models, and miss-rate matrices.
+type Env struct {
+	Tech *device.Technology
+	Mem  mem.Spec
+
+	// Accesses is the trace length per (workload, L1 size) simulation.
+	Accesses int
+	// Seed drives all synthetic workloads.
+	Seed int64
+	// MinR2 gates model fits (0 accepts any fit).
+	MinR2 float64
+
+	// l2Margin overrides the L2-sweep AMAT margin when non-zero (used by
+	// ablations; see L2SweepAtMargin).
+	l2Margin float64
+
+	mu       sync.Mutex
+	caches   map[string]*components.Cache
+	models   map[string]*model.CacheModel
+	matrices []*sim.MissMatrix
+	average  *sim.MissMatrix
+}
+
+// NewEnv returns an environment with production-scale defaults.
+func NewEnv() *Env {
+	return &Env{
+		Tech:     device.Default65nm(),
+		Mem:      mem.DefaultDDR(),
+		Accesses: 1_000_000,
+		Seed:     1,
+		MinR2:    0.97,
+		caches:   make(map[string]*components.Cache),
+		models:   make(map[string]*model.CacheModel),
+	}
+}
+
+// NewQuickEnv returns an environment sized for tests: shorter simulations,
+// same physics.
+func NewQuickEnv() *Env {
+	e := NewEnv()
+	e.Accesses = 400_000
+	return e
+}
+
+// Cache returns (building and caching on first use) the transistor-level
+// cache for a configuration.
+func (e *Env) Cache(cfg cachecfg.Config) (*components.Cache, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := cfg.Name + "/" + cfg.String()
+	if c, ok := e.caches[key]; ok {
+		return c, nil
+	}
+	c, err := components.New(e.Tech, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.caches[key] = c
+	return c, nil
+}
+
+// Model returns (building and caching on first use) the fitted analytical
+// model for a configuration.
+func (e *Env) Model(cfg cachecfg.Config) (*model.CacheModel, error) {
+	c, err := e.Cache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := cfg.Name + "/" + cfg.String()
+	if m, ok := e.models[key]; ok {
+		return m, nil
+	}
+	m, err := model.Build(c, charlib.DefaultGrid(), e.MinR2)
+	if err != nil {
+		return nil, fmt.Errorf("exp: model for %v: %w", cfg, err)
+	}
+	e.models[key] = m
+	return m, nil
+}
+
+// SuiteMatrices returns the per-workload miss matrices over the canonical
+// L1/L2 design spaces, simulating on first use.
+func (e *Env) SuiteMatrices() ([]*sim.MissMatrix, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.matrices != nil {
+		return e.matrices, nil
+	}
+	ms, err := sim.BuildSuiteMatrices(trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
+	if err != nil {
+		return nil, err
+	}
+	e.matrices = ms
+	return ms, nil
+}
+
+// MissMatrix returns the equal-weight average of the suite matrices — the
+// aggregate statistics the paper's Section 5 experiments consume.
+func (e *Env) MissMatrix() (*sim.MissMatrix, error) {
+	if _, err := e.SuiteMatrices(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.average != nil {
+		return e.average, nil
+	}
+	avg, err := sim.Average(e.matrices)
+	if err != nil {
+		return nil, err
+	}
+	e.average = avg
+	return avg, nil
+}
+
+// kbLabel formats a size in bytes as "16KB" / "1MB".
+func kbLabel(bytes int) string {
+	switch {
+	case bytes >= cachecfg.MB && bytes%cachecfg.MB == 0:
+		return fmt.Sprintf("%dMB", bytes/cachecfg.MB)
+	case bytes >= cachecfg.KB:
+		return fmt.Sprintf("%dKB", bytes/cachecfg.KB)
+	}
+	return fmt.Sprintf("%dB", bytes)
+}

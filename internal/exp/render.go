@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced paper figure: named series over shared axes.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// CSV renders the figure as long-format CSV (series,x,y).
+func (f Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// ASCII renders the figure as an aligned data listing, one block per series.
+func (f Figure) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "  (%s vs %s)\n", f.YLabel, f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %s:\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "    %12.4g  %12.4g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// Plot renders a coarse ASCII scatter of the figure, one rune per series.
+func (f Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 64
+	}
+	if height < 8 {
+		height = 20
+	}
+	xmin, xmax, ymin, ymax := f.bounds()
+	if xmax <= xmin || ymax <= ymin {
+		return "(empty figure)\n"
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("o+x*#@%&")
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			cy := int(float64(height-1) * (s.Y[i] - ymin) / (ymax - ymin))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-12.4g%s%12.4g (%s)\n", ymax, strings.Repeat(" ", width-24), ymax, f.YLabel)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %-12.4g%s%12.4g (%s)\n", xmin, strings.Repeat(" ", width-24), xmax, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "   %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+func (f Figure) bounds() (xmin, xmax, ymin, ymax float64) {
+	first := true
+	for _, s := range f.Series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	return
+}
+
+// Table is a reproduced textual result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// ASCII renders the table with aligned columns.
+func (t Table) ASCII() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		b.WriteString("  ")
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as CSV.
+func (t Table) CSV() string {
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

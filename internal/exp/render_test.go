@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID:     "figX",
+		Title:  "sample",
+		XLabel: "x (ps)",
+		YLabel: "y (mW)",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 5, 2}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{8, 6, 4}},
+		},
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	csv := sampleFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+6 {
+		t.Fatalf("csv has %d lines, want 7:\n%s", len(lines), csv)
+	}
+	if lines[0] != "series,x (ps),y (mW)" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "a,1,10" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestFigureASCII(t *testing.T) {
+	out := sampleFigure().ASCII()
+	for _, want := range []string{"figX", "sample", "a:", "b:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigurePlot(t *testing.T) {
+	out := sampleFigure().Plot(40, 10)
+	if !strings.Contains(out, "o = a") || !strings.Contains(out, "+ = b") {
+		t.Errorf("plot legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("plot has no data marks")
+	}
+	// Degenerate figure doesn't crash.
+	empty := Figure{ID: "e", Series: []Series{{Name: "s"}}}
+	if out := empty.Plot(40, 10); !strings.Contains(out, "empty") {
+		t.Errorf("degenerate plot = %q", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:      "tabX",
+		Title:   "sample table",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta", "2")
+	out := tab.ASCII()
+	for _, want := range []string{"tabX", "sample table", "alpha", "beta", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "alpha,1\n") {
+		t.Errorf("csv missing row: %q", csv)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := Table{Columns: []string{"a,b", `say "hi"`}}
+	tab.AddRow("x\ny", "plain")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("comma not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("quotes not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, "\"x\ny\"") {
+		t.Errorf("newline not quoted: %q", csv)
+	}
+}
+
+func TestArtifactRender(t *testing.T) {
+	f := sampleFigure()
+	a := Artifact{ID: f.ID, Figure: &f}
+	if a.Render() == "" || a.CSV() == "" {
+		t.Error("figure artifact renders empty")
+	}
+	tab := Table{ID: "t", Columns: []string{"c"}}
+	a = Artifact{ID: "t", Table: &tab}
+	if a.Render() == "" {
+		t.Error("table artifact renders empty")
+	}
+	empty := Artifact{ID: "none"}
+	if !strings.Contains(empty.Render(), "empty") {
+		t.Error("empty artifact should say so")
+	}
+	if empty.CSV() != "" {
+		t.Error("empty artifact CSV should be empty")
+	}
+}

@@ -1,0 +1,292 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, stats, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Errorf("fit = %v + %v x, want 1 + 2x", a, b)
+	}
+	if stats.R2 < 1-1e-12 {
+		t.Errorf("R2 = %v, want 1", stats.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 5-3*x+rng.NormFloat64()*0.1)
+	}
+	a, b, stats, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-5) > 0.1 || math.Abs(b+3) > 0.02 {
+		t.Errorf("fit = %v + %v x, want ~5 - 3x", a, b)
+	}
+	if stats.R2 < 0.999 {
+		t.Errorf("R2 = %v", stats.R2)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, _, _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, _, _, err := Linear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should be singular")
+	}
+	if _, _, _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 -> x=1, y=3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Leading zero forces a pivot swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular matrix should error")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[1][1] != 3 || b[0] != 5 {
+		t.Error("inputs were mutated")
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant: well-conditioned
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range xTrue {
+				b[i] += a[i][j] * xTrue[j]
+			}
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLinearRegressionMultiBasis(t *testing.T) {
+	// y = 2 + 3a - b over a small grid.
+	var rows [][]float64
+	var ys []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			rows = append(rows, []float64{1, a, b})
+			ys = append(ys, 2+3*a-b)
+		}
+	}
+	coef, stats, err := LinearRegression(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(coef[i]-want[i]) > 1e-9 {
+			t.Errorf("coef[%d] = %v, want %v", i, coef[i], want[i])
+		}
+	}
+	if stats.R2 < 1-1e-9 {
+		t.Errorf("R2 = %v", stats.R2)
+	}
+}
+
+func TestEvaluatePerfectAndConstant(t *testing.T) {
+	s := Evaluate([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if s.R2 != 1 || s.RMSE != 0 {
+		t.Errorf("perfect fit stats = %+v", s)
+	}
+	// Constant observations, perfect predictions: R2 = 1 by convention.
+	s = Evaluate([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if s.R2 != 1 {
+		t.Errorf("constant-perfect R2 = %v", s.R2)
+	}
+	// Constant observations, wrong predictions: R2 = 0 by convention.
+	s = Evaluate([]float64{2, 2, 2}, []float64{3, 3, 3})
+	if s.R2 != 0 {
+		t.Errorf("constant-wrong R2 = %v", s.R2)
+	}
+}
+
+func expModel(p []float64, x []float64) float64 {
+	// y = p0 + p1*exp(p2*x)
+	return p[0] + p[1]*math.Exp(p[2]*x[0])
+}
+
+func TestLMRecoverExponential(t *testing.T) {
+	truth := []float64{1.5, 2.0, -3.0}
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x <= 2; x += 0.05 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, expModel(truth, []float64{x}))
+	}
+	p, stats, err := LevenbergMarquardt(expModel, xs, ys, []float64{1, 1, -1}, LMOptions{})
+	if err != nil {
+		t.Fatalf("LM: %v (stats %v)", err, stats)
+	}
+	for i := range truth {
+		if math.Abs(p[i]-truth[i]) > 1e-6 {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], truth[i])
+		}
+	}
+	if stats.R2 < 1-1e-10 {
+		t.Errorf("R2 = %v", stats.R2)
+	}
+}
+
+func TestLMNoisyTwoExponentials(t *testing.T) {
+	// The paper's leakage form: y = A0 + A1 e^{a1 v} + A2 e^{a2 t}.
+	model := func(p []float64, x []float64) float64 {
+		return p[0] + p[1]*math.Exp(p[2]*x[0]) + p[3]*math.Exp(p[4]*x[1])
+	}
+	truth := []float64{0.2, 30, -20, 500, -1.0}
+	rng := rand.New(rand.NewSource(42))
+	var xs [][]float64
+	var ys []float64
+	for v := 0.2; v <= 0.5; v += 0.05 {
+		for tox := 10.0; tox <= 14; tox += 1 {
+			xs = append(xs, []float64{v, tox})
+			y := model(truth, []float64{v, tox})
+			ys = append(ys, y*(1+0.001*rng.NormFloat64()))
+		}
+	}
+	p0 := []float64{0, 10, -10, 100, -0.5}
+	p, stats, err := LevenbergMarquardt(model, xs, ys, p0, LMOptions{MaxIterations: 500})
+	if err != nil {
+		t.Fatalf("LM: %v (stats %v)", err, stats)
+	}
+	if stats.R2 < 0.999 {
+		t.Errorf("R2 = %v, params %v", stats.R2, p)
+	}
+}
+
+func TestLMWithBounds(t *testing.T) {
+	// Constrain the decay rate to be negative.
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x <= 1; x += 0.1 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2*math.Exp(-1.5*x))
+	}
+	model := func(p, x []float64) float64 { return p[0] * math.Exp(p[1]*x[0]) }
+	p, _, err := LevenbergMarquardt(model, xs, ys, []float64{1, -0.1},
+		LMOptions{Lower: []float64{0, -10}, Upper: []float64{100, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] > 0 {
+		t.Errorf("bound violated: %v", p)
+	}
+	if math.Abs(p[0]-2) > 1e-4 || math.Abs(p[1]+1.5) > 1e-4 {
+		t.Errorf("params = %v, want [2 -1.5]", p)
+	}
+}
+
+func TestLMErrors(t *testing.T) {
+	model := func(p, x []float64) float64 { return p[0] }
+	if _, _, err := LevenbergMarquardt(model, nil, nil, []float64{1}, LMOptions{}); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, _, err := LevenbergMarquardt(model, [][]float64{{1}}, []float64{1}, nil, LMOptions{}); err == nil {
+		t.Error("no params should error")
+	}
+}
+
+func TestLMWeights(t *testing.T) {
+	// Two inconsistent observations; the heavier one wins.
+	model := func(p, x []float64) float64 { return p[0] }
+	xs := [][]float64{{0}, {0}}
+	ys := []float64{0, 10}
+	p, _, err := LevenbergMarquardt(model, xs, ys, []float64{5},
+		LMOptions{Weights: []float64{1, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] < 9.9 {
+		t.Errorf("weighted fit = %v, want ~10", p[0])
+	}
+}
+
+func TestEvaluateR2Bounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		obs := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range obs {
+			obs[i] = rng.NormFloat64()
+			pred[i] = rng.NormFloat64()
+		}
+		s := Evaluate(obs, pred)
+		// R2 can be negative for terrible fits but never above 1; RMSE >= 0.
+		return s.R2 <= 1+1e-12 && s.RMSE >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Package mem models the main-memory (DRAM) level of the paper's "entire
+// processor memory system": a fixed access latency and per-access energy.
+// Main memory is off-chip in the paper's setting, so its Vth/Tox are not
+// decision variables; it enters the optimization only through the AMAT and
+// energy terms that L2 misses incur.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Spec describes the main-memory level.
+type Spec struct {
+	Name string
+	// LatencyS is the full L2-miss service latency (row activation, column
+	// access, burst transfer, controller overheads).
+	LatencyS float64
+	// EnergyJ is the energy of one L2-miss service (DRAM core plus I/O).
+	EnergyJ float64
+	// StandbyW is the memory subsystem's standby power charged to the
+	// system's energy budget (refresh, PLLs, I/O termination).
+	StandbyW float64
+}
+
+// DefaultDDR returns a DDR-class main memory of the paper's era:
+// 50 ns access latency, 2 nJ per access, 50 mW standby.
+func DefaultDDR() Spec {
+	return Spec{
+		Name:     "ddr",
+		LatencyS: 50 * units.Nanosecond,
+		EnergyJ:  2e-9,
+		StandbyW: 50e-3,
+	}
+}
+
+// FastDDR returns a lower-latency part for sensitivity studies.
+func FastDDR() Spec {
+	return Spec{
+		Name:     "ddr-fast",
+		LatencyS: 35 * units.Nanosecond,
+		EnergyJ:  1.5e-9,
+		StandbyW: 50e-3,
+	}
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	if s.LatencyS <= 0 {
+		return fmt.Errorf("mem: non-positive latency %v", s.LatencyS)
+	}
+	if s.EnergyJ <= 0 {
+		return fmt.Errorf("mem: non-positive energy %v", s.EnergyJ)
+	}
+	if s.StandbyW < 0 {
+		return fmt.Errorf("mem: negative standby power %v", s.StandbyW)
+	}
+	return nil
+}

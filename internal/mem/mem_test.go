@@ -1,0 +1,44 @@
+package mem
+
+import "testing"
+
+func TestDefaultsValid(t *testing.T) {
+	for _, s := range []Spec{DefaultDDR(), FastDDR()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestFastIsFaster(t *testing.T) {
+	if FastDDR().LatencyS >= DefaultDDR().LatencyS {
+		t.Error("FastDDR must have lower latency")
+	}
+	if FastDDR().EnergyJ >= DefaultDDR().EnergyJ {
+		t.Error("FastDDR must have lower energy")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{LatencyS: 0, EnergyJ: 1e-9},
+		{LatencyS: 1e-9, EnergyJ: 0},
+		{LatencyS: 1e-9, EnergyJ: 1e-9, StandbyW: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	d := DefaultDDR()
+	// 2005-era DDR: tens of ns, nJ-scale access energy.
+	if d.LatencyS < 20e-9 || d.LatencyS > 200e-9 {
+		t.Errorf("latency %v s implausible", d.LatencyS)
+	}
+	if d.EnergyJ < 0.5e-9 || d.EnergyJ > 10e-9 {
+		t.Errorf("energy %v J implausible", d.EnergyJ)
+	}
+}

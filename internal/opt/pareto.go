@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/device"
+)
+
+// ParetoPoint is one (delay, leakage) trade-off point with the operating
+// point that achieves it.
+type ParetoPoint struct {
+	DelayS   float64
+	LeakageW float64
+	OP       device.OperatingPoint
+}
+
+// ParetoFront reduces candidate points to the non-dominated set, sorted by
+// increasing delay (and therefore decreasing leakage). A point dominates
+// another when it is no slower and leaks no more, and is strictly better in
+// at least one dimension.
+func ParetoFront(points []ParetoPoint) []ParetoPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]ParetoPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].DelayS != sorted[j].DelayS {
+			return sorted[i].DelayS < sorted[j].DelayS
+		}
+		return sorted[i].LeakageW < sorted[j].LeakageW
+	})
+	out := sorted[:0]
+	bestLeak := sorted[0].LeakageW + 1
+	for _, p := range sorted {
+		if p.LeakageW < bestLeak {
+			out = append(out, p)
+			bestLeak = p.LeakageW
+		}
+	}
+	// Copy to detach from the shared backing array.
+	return append([]ParetoPoint(nil), out...)
+}
+
+// componentPareto builds the per-component Pareto set over the candidate
+// operating points.
+func componentPareto(ev ComponentEvaluator, part int, ops []device.OperatingPoint) []ParetoPoint {
+	pts := make([]ParetoPoint, 0, len(ops))
+	for _, op := range ops {
+		pts = append(pts, ParetoPoint{
+			DelayS:   ev.PartDelayS(partID(part), op),
+			LeakageW: ev.PartLeakageW(partID(part), op),
+			OP:       op,
+		})
+	}
+	return ParetoFront(pts)
+}
+
+// BestUnderBudget returns the least-leaky point with delay <= budget, or
+// false when none qualifies. Points must be a Pareto front (sorted by delay).
+func BestUnderBudget(front []ParetoPoint, budget float64) (ParetoPoint, bool) {
+	// The front is sorted by increasing delay with decreasing leakage, so
+	// the best feasible point is the last one within budget.
+	idx := sort.Search(len(front), func(i int) bool { return front[i].DelayS > budget })
+	if idx == 0 {
+		return ParetoPoint{}, false
+	}
+	return front[idx-1], true
+}

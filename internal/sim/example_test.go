@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/cachecfg"
+	"repro/internal/sim"
+)
+
+// A two-level hierarchy: the L2 sees only L1 misses and write-backs.
+func ExampleHierarchy() {
+	l1 := sim.MustNew(cachecfg.L1(4*cachecfg.KB), sim.LRU, sim.WriteBack)
+	l2 := sim.MustNew(cachecfg.L2(256*cachecfg.KB), sim.LRU, sim.WriteBack)
+	h := sim.NewHierarchy(l1, l2)
+
+	// Cyclically touch 256 blocks twice. The 4KB L1 holds only 128 of the
+	// 32B blocks, and a cyclic scan larger than capacity is LRU's worst
+	// case: every line is evicted just before its reuse, so the L1 misses
+	// on every access. The L2 (256KB) holds the whole set: its 128 64B
+	// blocks cold-miss once and hit ever after.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 256; i++ {
+			h.Access(i*32, false)
+		}
+	}
+	fmt.Printf("L1 accesses=%d misses=%d\n", l1.Stats.Accesses, l1.Stats.Misses)
+	fmt.Printf("L2 accesses=%d misses=%d\n", l2.Stats.Accesses, l2.Stats.Misses)
+	// Output:
+	// L1 accesses=512 misses=512
+	// L2 accesses=512 misses=128
+}
+
+func ExampleCache_Access() {
+	c := sim.MustNew(cachecfg.Config{
+		SizeBytes: 1024, BlockBytes: 32, Assoc: 2, OutputBits: 64,
+	}, sim.LRU, sim.WriteBack)
+	first := c.Access(0x40, true)   // cold write miss: allocate, dirty
+	second := c.Access(0x48, false) // same block: hit
+	fmt.Printf("first hit=%v, second hit=%v, dirty writeback pending=%v\n",
+		first.Hit, second.Hit, first.Writeback)
+	// Output:
+	// first hit=false, second hit=true, dirty writeback pending=false
+}

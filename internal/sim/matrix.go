@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cachecfg"
+	"repro/internal/trace"
+)
+
+// MissMatrix holds the architectural statistics the two-level optimization
+// consumes: local miss rates for every (L1 size, L2 size) combination of one
+// workload.
+type MissMatrix struct {
+	Workload string
+	L1Sizes  []int
+	L2Sizes  []int
+	Accesses int
+
+	// L1Local[l1] is the L1 local miss rate.
+	L1Local map[int]float64
+	// L2Local[l1][l2] is the L2 local miss rate given that L1.
+	L2Local map[int]map[int]float64
+	// WritebackPerAccess[l1] is the L1 dirty-writeback rate per access.
+	WritebackPerAccess map[int]float64
+}
+
+// missStreamEntry is one reference forwarded from L1 to L2.
+type missStreamEntry struct {
+	addr  uint64
+	write bool
+}
+
+// BuildMissMatrix simulates the workload over every L1/L2 size combination.
+// The L1 miss stream for a given L1 size does not depend on the L2, so each
+// L1 pass is run once and its miss stream replayed into every candidate L2.
+func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: need a positive access count, got %d", n)
+	}
+	if len(l1Sizes) == 0 || len(l2Sizes) == 0 {
+		return nil, fmt.Errorf("sim: empty size lists")
+	}
+	gen, err := trace.New(p)
+	if err != nil {
+		return nil, err
+	}
+	m := &MissMatrix{
+		Workload:           p.Name,
+		L1Sizes:            append([]int(nil), l1Sizes...),
+		L2Sizes:            append([]int(nil), l2Sizes...),
+		Accesses:           n,
+		L1Local:            make(map[int]float64),
+		L2Local:            make(map[int]map[int]float64),
+		WritebackPerAccess: make(map[int]float64),
+	}
+	sort.Ints(m.L1Sizes)
+	sort.Ints(m.L2Sizes)
+
+	for _, l1Size := range m.L1Sizes {
+		gen.Reset()
+		l1, err := New(cachecfg.L1(l1Size), LRU, WriteBack)
+		if err != nil {
+			return nil, err
+		}
+		var stream []missStreamEntry
+		for i := 0; i < n; i++ {
+			a := gen.Next()
+			r := l1.Access(a.Addr, a.Write)
+			if r.Writeback {
+				stream = append(stream, missStreamEntry{addr: r.WritebackAddr, write: true})
+			}
+			if !r.Hit {
+				stream = append(stream, missStreamEntry{addr: a.Addr, write: a.Write})
+			}
+		}
+		m.L1Local[l1Size] = l1.Stats.MissRate()
+		m.WritebackPerAccess[l1Size] = float64(l1.Stats.Writebacks) / float64(l1.Stats.Accesses)
+		m.L2Local[l1Size] = make(map[int]float64)
+
+		for _, l2Size := range m.L2Sizes {
+			l2, err := New(cachecfg.L2(l2Size), LRU, WriteBack)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range stream {
+				l2.Access(e.addr, e.write)
+			}
+			m.L2Local[l1Size][l2Size] = l2.Stats.MissRate()
+		}
+	}
+	return m, nil
+}
+
+// BuildSuiteMatrices builds matrices for several workloads.
+func BuildSuiteMatrices(suites []trace.Params, l1Sizes, l2Sizes []int, n int) ([]*MissMatrix, error) {
+	out := make([]*MissMatrix, 0, len(suites))
+	for _, p := range suites {
+		m, err := BuildMissMatrix(p, l1Sizes, l2Sizes, n)
+		if err != nil {
+			return nil, fmt.Errorf("sim: workload %s: %w", p.Name, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Average combines matrices with equal weight — the paper reports "results
+// from various benchmark suites ... are collected" and evaluates aggregate
+// behaviour.
+func Average(ms []*MissMatrix) (*MissMatrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("sim: nothing to average")
+	}
+	base := ms[0]
+	out := &MissMatrix{
+		Workload:           "average",
+		L1Sizes:            append([]int(nil), base.L1Sizes...),
+		L2Sizes:            append([]int(nil), base.L2Sizes...),
+		Accesses:           base.Accesses,
+		L1Local:            make(map[int]float64),
+		L2Local:            make(map[int]map[int]float64),
+		WritebackPerAccess: make(map[int]float64),
+	}
+	for _, m := range ms {
+		if len(m.L1Sizes) != len(base.L1Sizes) || len(m.L2Sizes) != len(base.L2Sizes) {
+			return nil, fmt.Errorf("sim: mismatched matrices (%s vs %s)", m.Workload, base.Workload)
+		}
+	}
+	w := 1 / float64(len(ms))
+	for _, l1 := range out.L1Sizes {
+		out.L2Local[l1] = make(map[int]float64)
+		for _, m := range ms {
+			out.L1Local[l1] += w * m.L1Local[l1]
+			out.WritebackPerAccess[l1] += w * m.WritebackPerAccess[l1]
+			for _, l2 := range out.L2Sizes {
+				out.L2Local[l1][l2] += w * m.L2Local[l1][l2]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// Statistical tests of the generator's distributional properties. They use
+// fixed seeds, so they are deterministic despite being statistical.
+
+func TestZipfCDFNormalized(t *testing.T) {
+	z := newZipfGen(1000, 1.3)
+	if got := z.cdf[len(z.cdf)-1]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("CDF must end at 1, got %v", got)
+	}
+	for i := 1; i < len(z.cdf); i++ {
+		if z.cdf[i] < z.cdf[i-1] {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+}
+
+func TestZipfRankFrequencies(t *testing.T) {
+	// Empirical draw frequencies should follow the configured power law:
+	// P(rank r) proportional to (r+1)^-alpha. Check rank 0 vs rank 9 ratio
+	// ~ 10^alpha within sampling noise.
+	p := Params{Name: "z", FootprintBytes: 1 << 22, GranuleBytes: 64,
+		ZipfAlpha: 1.0, MeanRunLength: 1.0001, WriteFraction: 0, Seed: 3}
+	g := MustNew(p).(*generator)
+	counts := make(map[uint64]int)
+	n := 400000
+	for i := 0; i < n; i++ {
+		counts[g.zipf.draw(g.rng)]++
+	}
+	r0 := float64(counts[0])
+	r9 := float64(counts[9])
+	if r9 == 0 {
+		t.Fatal("rank 9 never drawn")
+	}
+	ratio := r0 / r9
+	// alpha=1: expected ratio = (10/1)^1 = 10. Allow wide sampling slack.
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("rank0/rank9 frequency ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestPermutationScattersHotSet(t *testing.T) {
+	// The hottest granules should not be clustered at low addresses: the
+	// mean address of the top granules should be near the footprint middle.
+	p := SPEC2000(5)
+	p.FootprintBytes = 4 << 20
+	g := MustNew(p).(*generator)
+	var sum float64
+	top := 64
+	for rank := 0; rank < top; rank++ {
+		sum += float64(g.permute[rank]) * float64(p.GranuleBytes)
+	}
+	mean := sum / float64(top)
+	mid := float64(p.FootprintBytes) / 2
+	if mean < 0.25*mid || mean > 1.75*mid {
+		t.Errorf("hot-set mean address %v too far from footprint middle %v", mean, mid)
+	}
+}
+
+func TestWarmRegionShare(t *testing.T) {
+	p := SPECWEB(7)
+	p.FootprintBytes = 4 << 20
+	g := MustNew(p)
+	warm := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if g.Next().Addr >= p.FootprintBytes {
+			warm++
+		}
+	}
+	share := float64(warm) / float64(n)
+	// Warm draws are WarmFraction of run starts; with geometric runs the
+	// access share approximates the fraction as well. Allow a broad band.
+	if share < p.WarmFraction/3 || share > p.WarmFraction*3 {
+		t.Errorf("warm access share = %v, want near %v", share, p.WarmFraction)
+	}
+}
+
+func TestRunLengthMean(t *testing.T) {
+	p := Params{Name: "r", FootprintBytes: 1 << 20, GranuleBytes: 64,
+		ZipfAlpha: 1.2, MeanRunLength: 8, WriteFraction: 0, Seed: 11}
+	g := MustNew(p)
+	prev := g.Next().Addr
+	runs, current := 0, 1
+	var total int
+	n := 200000
+	for i := 1; i < n; i++ {
+		cur := g.Next().Addr
+		if cur == prev+8 {
+			current++
+		} else {
+			runs++
+			total += current
+			current = 1
+		}
+		prev = cur
+	}
+	if runs == 0 {
+		t.Fatal("no runs observed")
+	}
+	mean := float64(total) / float64(runs)
+	if mean < 5 || mean > 12 {
+		t.Errorf("observed mean run length = %v, want ~8", mean)
+	}
+}
+
+func TestExtraSuites(t *testing.T) {
+	for _, p := range ExtraSuites(1) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		g := MustNew(p)
+		for i := 0; i < 1000; i++ {
+			g.Next()
+		}
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	g := MustNew(Stream(3))
+	seq := 0
+	n := 50000
+	prev := g.Next().Addr
+	for i := 1; i < n; i++ {
+		cur := g.Next().Addr
+		if cur == prev+8 {
+			seq++
+		}
+		prev = cur
+	}
+	if frac := float64(seq) / float64(n); frac < 0.9 {
+		t.Errorf("stream sequential fraction = %v, want >= 0.9", frac)
+	}
+}
+
+func TestPointerChaseIsNot(t *testing.T) {
+	g := MustNew(PointerChase(3))
+	seq := 0
+	n := 50000
+	prev := g.Next().Addr
+	for i := 1; i < n; i++ {
+		cur := g.Next().Addr
+		if cur == prev+8 {
+			seq++
+		}
+		prev = cur
+	}
+	if frac := float64(seq) / float64(n); frac > 0.05 {
+		t.Errorf("pointer chase sequential fraction = %v, want ~0", frac)
+	}
+}

@@ -1,0 +1,32 @@
+package units_test
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+func ExampleFormatSI() {
+	fmt.Println(units.FormatSI(1.9612e-2, "W"))
+	fmt.Println(units.FormatSI(5.54e-10, "s"))
+	fmt.Println(units.FormatSI(2.16e-11, "J"))
+	// Output:
+	// 19.6mW
+	// 554ps
+	// 21.6pJ
+}
+
+func ExampleGridSteps() {
+	for _, tox := range units.GridSteps(10, 14, 1) {
+		fmt.Printf("%.0fA ", tox)
+	}
+	fmt.Println()
+	// Output:
+	// 10A 11A 12A 13A 14A
+}
+
+func ExampleThermalVoltage() {
+	fmt.Printf("kT/q at 300K = %.1f mV\n", units.ThermalVoltage(300)*1e3)
+	// Output:
+	// kT/q at 300K = 25.9 mV
+}
