@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-compile golden
+
+# ci is the gate: vet, build, race-enabled tests, and a one-iteration pass
+# over every benchmark as a compile-and-run check.
+ci: vet build race bench-compile
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-compile runs every benchmark exactly once — cheap enough for CI,
+# and it catches benchmarks that bit-rot against API changes.
+bench-compile:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# bench is the real measurement run.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# golden regenerates checked-in golden files (scenario batch output).
+golden:
+	$(GO) test ./internal/scenario -run TestBatchGolden -update

@@ -1,11 +1,15 @@
 // Package repro benchmarks regenerate every table and figure of the paper's
-// evaluation (see DESIGN.md section 4 for the experiment index) and measure
-// the substrates they are built from. Run with:
+// evaluation (see the exp.Experiments registry in internal/exp/all.go for
+// the experiment index) and measure the substrates they are built from. Run
+// with:
 //
 //	go test -bench=. -benchmem
 package repro
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,7 +22,9 @@ import (
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/opt"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -193,6 +199,128 @@ func warmMissMatrix(b *testing.B) {
 	b.Helper()
 	if _, err := fixEnv.MissMatrix(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// --- Sweep engine benchmarks -------------------------------------------------
+
+// gomaxprocsLevels returns the 1/4/NumCPU ladder (deduplicated) at which the
+// parallel-vs-sequential benchmarks run.
+func gomaxprocsLevels() []int {
+	levels := []int{1}
+	if runtime.NumCPU() >= 4 || runtime.NumCPU() == 1 {
+		// Include 4 even on small machines: goroutine fan-out is still
+		// exercised, the OS just timeslices it.
+		levels = append(levels, 4)
+	}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// benchAll measures one cold exp.Env.All() pass: every artifact of the
+// paper regenerated from scratch (workload simulation, characterization,
+// model fits, and all optimizations), at a reduced trace length so a single
+// iteration stays in benchmark range.
+func benchAll(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		env := exp.NewQuickEnv()
+		env.Accesses = 100_000
+		env.Workers = workers
+		arts, err := env.All()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(arts) != len(exp.Experiments()) {
+			b.Fatalf("got %d artifacts", len(arts))
+		}
+	}
+}
+
+// BenchmarkAllSequential is the single-goroutine baseline for the full
+// evaluation sweep.
+func BenchmarkAllSequential(b *testing.B) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	benchAll(b, 1)
+}
+
+// BenchmarkAllParallel runs the identical sweep through the worker pool at
+// GOMAXPROCS 1, 4 and NumCPU. Output is byte-identical to the sequential
+// run (see exp.TestAllParallelByteIdentical); only wall-clock changes.
+func BenchmarkAllParallel(b *testing.B) {
+	for _, w := range gomaxprocsLevels() {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(w)
+			defer runtime.GOMAXPROCS(prev)
+			benchAll(b, 0)
+		})
+	}
+}
+
+// BenchmarkSweepThroughput measures the raw engine on a CPU-bound kernel
+// (no shared state), isolating pool overhead and scaling from the physics.
+func BenchmarkSweepThroughput(b *testing.B) {
+	work := func(i int) (float64, error) {
+		s := 0.0
+		for j := 0; j < 20_000; j++ {
+			s += float64(i*j) * 1e-9
+		}
+		return s, nil
+	}
+	for _, w := range gomaxprocsLevels() {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(w)
+			defer runtime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Map(1024, 0, work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMissMatrixParallel measures the architectural simulator building
+// the full canonical suite matrices — the dominant cost of a cold run —
+// through the per-shard-seeded parallel path.
+func BenchmarkMissMatrixParallel(b *testing.B) {
+	for _, w := range gomaxprocsLevels() {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(w)
+			defer runtime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				ms, err := sim.BuildSuiteMatrices(trace.Suites(1), cachecfg.L1Sizes(), cachecfg.L2Sizes(), 50_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ms) != 3 {
+					b.Fatalf("got %d matrices", len(ms))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchScenarios measures the multi-scenario batch runner end to
+// end on the checked-in example batch.
+func BenchmarkBatchScenarios(b *testing.B) {
+	f, err := os.Open("examples/scenarios.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := scenario.LoadBatch(f)
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunBatch(batch, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

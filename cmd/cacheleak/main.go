@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cachecfg"
@@ -25,17 +26,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags and IO come from the caller and
+// the exit status is returned instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cacheleak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		size    = flag.Int("size", 16*1024, "cache capacity in bytes")
-		block   = flag.Int("block", 32, "block size in bytes")
-		assoc   = flag.Int("assoc", 4, "associativity")
-		outBits = flag.Int("out", 64, "data output width in bits")
-		scheme  = flag.Int("scheme", 2, "assignment scheme: 1, 2 or 3")
-		delayPS = flag.Float64("delay-ps", 0, "delay budget in ps (overrides -frac)")
-		frac    = flag.Float64("frac", 0.5, "delay budget as a fraction of the feasible range")
-		curve   = flag.Int("curve", 0, "print a frontier of N budgets instead of one point")
+		size    = fs.Int("size", 16*1024, "cache capacity in bytes")
+		block   = fs.Int("block", 32, "block size in bytes")
+		assoc   = fs.Int("assoc", 4, "associativity")
+		outBits = fs.Int("out", 64, "data output width in bits")
+		scheme  = fs.Int("scheme", 2, "assignment scheme: 1, 2 or 3")
+		delayPS = fs.Float64("delay-ps", 0, "delay budget in ps (overrides -frac)")
+		frac    = fs.Float64("frac", 0.5, "delay budget as a fraction of the feasible range")
+		curve   = fs.Int("curve", 0, "print a frontier of N budgets instead of one point")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := cachecfg.Config{
 		Name:       "cache",
@@ -45,7 +56,8 @@ func main() {
 		OutputBits: *outBits,
 	}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cacheleak:", err)
+		return 1
 	}
 	var sch opt.Scheme
 	switch *scheme {
@@ -56,28 +68,30 @@ func main() {
 	case 3:
 		sch = opt.SchemeIII
 	default:
-		fatal(fmt.Errorf("unknown scheme %d", *scheme))
+		fmt.Fprintf(stderr, "cacheleak: unknown scheme %d\n", *scheme)
+		return 1
 	}
 
-	fmt.Printf("designing %v at 65nm...\n", cfg)
+	fmt.Fprintf(stdout, "designing %v at 65nm...\n", cfg)
 	d, err := core.DesignCache(core.NewTechnology(), cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cacheleak:", err)
+		return 1
 	}
-	fmt.Printf("organization: %v\n", d.Cache.Array)
+	fmt.Fprintf(stdout, "organization: %v\n", d.Cache.Array)
 	lo, hi := d.DelayRange()
-	fmt.Printf("feasible access times: %.0f .. %.0f ps\n", units.ToPS(lo), units.ToPS(hi))
+	fmt.Fprintf(stdout, "feasible access times: %.0f .. %.0f ps\n", units.ToPS(lo), units.ToPS(hi))
 
 	if *curve > 0 {
-		fmt.Printf("\n%v leakage/delay frontier:\n", sch)
-		fmt.Printf("  %-12s %-14s %s\n", "budget(ps)", "leakage(mW)", "assignment")
+		fmt.Fprintf(stdout, "\n%v leakage/delay frontier:\n", sch)
+		fmt.Fprintf(stdout, "  %-12s %-14s %s\n", "budget(ps)", "leakage(mW)", "assignment")
 		for _, r := range d.TradeoffCurve(sch, *curve) {
 			if !r.Feasible {
 				continue
 			}
-			fmt.Printf("  %-12.0f %-14.4f %v\n", units.ToPS(r.DelayS), units.ToMW(r.LeakageW), r.Assignment)
+			fmt.Fprintf(stdout, "  %-12.0f %-14.4f %v\n", units.ToPS(r.DelayS), units.ToMW(r.LeakageW), r.Assignment)
 		}
-		return
+		return 0
 	}
 
 	budget := lo + *frac*(hi-lo)
@@ -86,22 +100,19 @@ func main() {
 	}
 	r := d.OptimizeLeakage(sch, budget)
 	if !r.Feasible {
-		fatal(fmt.Errorf("no assignment meets %.0f ps", units.ToPS(budget)))
+		fmt.Fprintf(stderr, "cacheleak: no assignment meets %.0f ps\n", units.ToPS(budget))
+		return 1
 	}
-	fmt.Printf("\n%v optimum under %.0f ps:\n", sch, units.ToPS(budget))
-	fmt.Printf("  leakage:     %.4f mW (fitted model)\n", units.ToMW(r.LeakageW))
+	fmt.Fprintf(stdout, "\n%v optimum under %.0f ps:\n", sch, units.ToPS(budget))
+	fmt.Fprintf(stdout, "  leakage:     %.4f mW (fitted model)\n", units.ToMW(r.LeakageW))
 	leak, delay, energy := d.Evaluate(r.Assignment)
-	fmt.Printf("  verified:    %.4f mW, %.0f ps, %.2f pJ/access (netlist)\n",
+	fmt.Fprintf(stdout, "  verified:    %.4f mW, %.0f ps, %.2f pJ/access (netlist)\n",
 		units.ToMW(leak), units.ToPS(delay), units.ToPJ(energy))
 	for _, p := range components.Parts() {
 		op := r.Assignment[p]
 		pl := d.Cache.Part(p).Leakage(op)
-		fmt.Printf("  %-13s %v  leak=%.4f mW (sub %.4f / gate %.4f)\n",
+		fmt.Fprintf(stdout, "  %-13s %v  leak=%.4f mW (sub %.4f / gate %.4f)\n",
 			p.String()+":", op, units.ToMW(pl.Total()), units.ToMW(pl.SubthresholdW), units.ToMW(pl.GateW))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cacheleak:", err)
-	os.Exit(1)
+	return 0
 }

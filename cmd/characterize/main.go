@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cachecfg"
@@ -24,12 +25,22 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags and IO come from the caller and
+// the exit status is returned instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		size    = flag.Int("size", 16*1024, "cache capacity in bytes")
-		l2      = flag.Bool("l2", false, "use the canonical L2 organization instead of L1")
-		samples = flag.Bool("samples", false, "dump raw characterization samples as CSV")
+		size    = fs.Int("size", 16*1024, "cache capacity in bytes")
+		l2      = fs.Bool("l2", false, "use the canonical L2 organization instead of L1")
+		samples = fs.Bool("samples", false, "dump raw characterization samples as CSV")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := cachecfg.L1(*size)
 	if *l2 {
@@ -38,57 +49,59 @@ func main() {
 	tech := core.NewTechnology()
 	cache, err := components.New(tech, cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "characterize:", err)
+		return 1
 	}
 
 	grid := charlib.DefaultGrid()
 	if *samples {
-		fmt.Println("component,vth_v,tox_a,leak_w,sub_w,gate_w,delay_s,energy_j")
+		fmt.Fprintln(stdout, "component,vth_v,tox_a,leak_w,sub_w,gate_w,delay_s,energy_j")
 		for _, p := range components.Parts() {
 			ss, err := charlib.Characterize(cache.Part(p), grid)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "characterize:", err)
+				return 1
 			}
 			for _, s := range ss {
-				fmt.Printf("%s,%g,%g,%g,%g,%g,%g,%g\n",
+				fmt.Fprintf(stdout, "%s,%g,%g,%g,%g,%g,%g,%g\n",
 					p, s.Vth, s.ToxA, s.LeakW, s.SubW, s.GateW, s.DelayS, s.EnergyJ)
 			}
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("characterizing %v over %d grid points per component\n", cfg, grid.Points())
+	fmt.Fprintf(stdout, "characterizing %v over %d grid points per component\n", cfg, grid.Points())
 	for _, p := range components.Parts() {
 		ss, err := charlib.Characterize(cache.Part(p), grid)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "characterize:", err)
+			return 1
 		}
 		lm, ls, err := model.FitLeakage(ss)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "characterize:", err)
+			return 1
 		}
 		dm, ds, err := model.FitDelay(ss)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "characterize:", err)
+			return 1
 		}
 		em, es, err := model.FitEnergy(ss)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "characterize:", err)
+			return 1
 		}
-		fmt.Printf("\n%s:\n", p)
-		fmt.Printf("  leakage: %v   (%v)\n", lm, ls)
-		fmt.Printf("  delay:   %v   (%v)\n", dm, ds)
-		fmt.Printf("  energy:  E(T) = %.3g + %.3g*T J   (%v)\n", em.E0, em.E1, es)
+		fmt.Fprintf(stdout, "\n%s:\n", p)
+		fmt.Fprintf(stdout, "  leakage: %v   (%v)\n", lm, ls)
+		fmt.Fprintf(stdout, "  delay:   %v   (%v)\n", dm, ds)
+		fmt.Fprintf(stdout, "  energy:  E(T) = %.3g + %.3g*T J   (%v)\n", em.E0, em.E1, es)
 		// Show the corners for scale.
 		fast := ss[0]
 		slow := ss[len(ss)-1]
-		fmt.Printf("  corners: fast (%.2fV,%.0fA) leak=%s delay=%.0fps | slow (%.2fV,%.0fA) leak=%s delay=%.0fps\n",
+		fmt.Fprintf(stdout, "  corners: fast (%.2fV,%.0fA) leak=%s delay=%.0fps | slow (%.2fV,%.0fA) leak=%s delay=%.0fps\n",
 			fast.Vth, fast.ToxA, units.FormatSI(fast.LeakW, "W"), units.ToPS(fast.DelayS),
 			slow.Vth, slow.ToxA, units.FormatSI(slow.LeakW, "W"), units.ToPS(slow.DelayS))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "characterize:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestRunFittedModels(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"characterizing", "grid points per component", "leakage:", "delay:", "corners:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSamplesCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-samples"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	recs, err := csv.NewReader(strings.NewReader(stdout.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("samples output is not CSV: %v", err)
+	}
+	if recs[0][0] != "component" || len(recs[0]) != 8 {
+		t.Errorf("unexpected header: %v", recs[0])
+	}
+	// 4 components x 63 default grid points + header.
+	if want := 4*63 + 1; len(recs) != want {
+		t.Errorf("want %d CSV records, got %d", want, len(recs))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

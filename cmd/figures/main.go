@@ -1,5 +1,6 @@
 // Command figures regenerates every figure and table of the paper's
-// evaluation and writes them as ASCII (stdout) and CSV files.
+// evaluation and writes them as ASCII (stdout) and CSV files. Experiments
+// fan out across the sweep engine; output is identical at any worker count.
 //
 // Usage:
 //
@@ -7,12 +8,15 @@
 //	figures -quick          # shorter simulations
 //	figures -outdir results # also write one CSV per artifact
 //	figures -plot           # include coarse terminal plots for figures
-//	figures -only fig2      # run a single artifact
+//	figures -only fig2      # compute and print a single artifact
+//	figures -list           # print artifact IDs without running anything
+//	figures -workers 1      # run experiments one at a time
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -21,58 +25,108 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags and IO come from the caller and
+// the exit status is returned instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick  = flag.Bool("quick", false, "use shorter workload simulations")
-		outdir = flag.String("outdir", "", "directory for CSV output (created if missing)")
-		plot   = flag.Bool("plot", false, "render coarse ASCII plots for figures")
-		only   = flag.String("only", "", "run only the artifact with this ID")
-		ext    = flag.Bool("ext", false, "also run the extension/ablation experiments")
+		quick   = fs.Bool("quick", false, "use shorter workload simulations")
+		outdir  = fs.String("outdir", "", "directory for CSV output (created if missing)")
+		plot    = fs.Bool("plot", false, "render coarse ASCII plots for figures")
+		only    = fs.String("only", "", "run only the artifact with this ID")
+		list    = fs.Bool("list", false, "list artifact IDs and exit")
+		ext     = fs.Bool("ext", false, "also run the extension/ablation experiments")
+		workers = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	exps := exp.Experiments()
+	if *list {
+		for _, x := range exps {
+			fmt.Fprintln(stdout, x.ID)
+		}
+		return 0
+	}
+	if *only != "" {
+		var sel []exp.Experiment
+		for _, x := range exps {
+			if x.ID == *only {
+				sel = append(sel, x)
+			}
+		}
+		// Extension artifacts are not in the registry; with -ext the ID may
+		// still match one of them, so an empty selection is only fatal when
+		// extensions are off.
+		if len(sel) == 0 && !*ext {
+			fmt.Fprintf(stderr, "figures: unknown artifact ID %q (try -list)\n", *only)
+			return 1
+		}
+		exps = sel
+	}
 
 	env := exp.NewEnv()
 	if *quick {
 		env = exp.NewQuickEnv()
 	}
+	env.Workers = *workers
 
 	start := time.Now()
-	arts, err := env.All()
+	arts, err := env.RunExperiments(exps)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "figures:", err)
+		return 1
+	}
+	// Skip the extension bundle when -only already matched a registry
+	// artifact: extensions are built all-or-nothing, and computing them
+	// just to filter their output away defeats -only's purpose.
+	if *ext && *only != "" && len(exps) > 0 {
+		*ext = false
 	}
 	if *ext {
 		extra, err := env.Extensions()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
 		}
 		arts = append(arts, extra...)
 	}
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
 		}
 	}
 
+	printed := 0
 	for _, a := range arts {
 		if *only != "" && a.ID != *only {
 			continue
 		}
-		fmt.Println(a.Render())
+		printed++
+		fmt.Fprintln(stdout, a.Render())
 		if *plot && a.Figure != nil {
-			fmt.Println(a.Figure.Plot(72, 24))
+			fmt.Fprintln(stdout, a.Figure.Plot(72, 24))
 		}
 		if *outdir != "" {
 			path := filepath.Join(*outdir, a.ID+".csv")
 			if err := os.WriteFile(path, []byte(a.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "figures:", err)
+				return 1
 			}
-			fmt.Printf("  [wrote %s]\n\n", path)
+			fmt.Fprintf(stdout, "  [wrote %s]\n\n", path)
 		}
 	}
-	fmt.Printf("regenerated %d artifacts in %v\n", len(arts), time.Since(start).Round(time.Millisecond))
+	if *only != "" && printed == 0 {
+		fmt.Fprintf(stderr, "figures: unknown artifact ID %q (try -list)\n", *only)
+		return 1
+	}
+	fmt.Fprintf(stdout, "regenerated %d artifacts in %v\n", printed, time.Since(start).Round(time.Millisecond))
+	return 0
 }

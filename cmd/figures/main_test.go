@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	ids := strings.Fields(stdout.String())
+	if len(ids) != 12 {
+		t.Fatalf("want 12 artifact IDs, got %d: %v", len(ids), ids)
+	}
+	for _, want := range []string{"fig1", "fig2", "tab-schemes", "tab-l2-single", "tab-fit"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("artifact %q missing from -list output", want)
+		}
+	}
+}
+
+func TestRunOnlyUnknownID(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "fig99"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown ID: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "fig99") {
+		t.Errorf("diagnostic does not name the bad ID: %q", stderr.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunSingleArtifact exercises the compute path end to end on the
+// cheapest registry entry (tab-fit needs only the two fitted models, no
+// workload simulation) and checks both ASCII and CSV outputs.
+func TestRunSingleArtifact(t *testing.T) {
+	outdir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-quick", "-only", "tab-fit", "-outdir", outdir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "tab-fit") || !strings.Contains(out, "regenerated 1 artifacts") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	f, err := os.Open(filepath.Join(outdir, "tab-fit.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output unparsable: %v", err)
+	}
+	if len(recs) < 2 || recs[0][0] != "cache" {
+		t.Errorf("unexpected CSV: %v", recs)
+	}
+}

@@ -2,9 +2,14 @@
 // the workload, optimize the L2 knobs under an AMAT budget, and optionally
 // run tuple-budget optimizations. Results are emitted as JSON.
 //
+// The input is either a single scenario object or a batch — a top-level
+// "scenarios" array — which runs concurrently with per-scenario isolation
+// (see examples/scenarios.json).
+//
 // Usage:
 //
 //	scenario -f study.json
+//	scenario -f examples/scenarios.json -workers 4
 //	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
 //
 // Example config:
@@ -20,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -29,34 +35,70 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "", "scenario JSON file (default stdin)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var r io.Reader = os.Stdin
+// run is the testable entry point: flags and IO come from the caller and
+// the exit status is returned instead of calling os.Exit.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "", "scenario JSON file (default stdin)")
+	workers := fs.Int("workers", 0, "concurrent scenarios in batch mode (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var r io.Reader = stdin
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
 		}
 		defer f.Close()
 		r = f
 	}
-	cfg, err := scenario.Load(r)
+	data, err := io.ReadAll(r)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "scenario:", err)
+		return 1
 	}
-	res, err := scenario.Run(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	out, err := res.Render()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(out)
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "scenario:", err)
-	os.Exit(1)
+	var out string
+	if scenario.IsBatch(data) {
+		b, err := scenario.LoadBatch(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		res, err := scenario.RunBatch(b, *workers)
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		out, err = res.Render()
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+	} else {
+		cfg, err := scenario.Load(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		out, err = res.Render()
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(stdout, out)
+	return 0
 }

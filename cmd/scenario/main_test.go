@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const tinyScenario = `{"name":"smoke","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":20000}`
+
+func TestRunSingleFromStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(nil, strings.NewReader(tinyScenario), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var res struct {
+		Name string `json:"name"`
+		L2   struct {
+			Feasible bool `json:"feasible"`
+		} `json:"l2_optimization"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if res.Name != "smoke" || !res.L2.Feasible {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestRunBatchFromStdin(t *testing.T) {
+	batch := `{"scenarios":[` + tinyScenario + `]}`
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workers", "2"}, strings.NewReader(batch), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var res struct {
+		Scenarios []struct {
+			Name string `json:"name"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(res.Scenarios) != 1 || res.Scenarios[0].Name != "smoke" {
+		t.Errorf("unexpected batch result: %+v", res)
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(`{"name":`), &stdout, &stderr); code != 1 {
+		t.Errorf("malformed JSON: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "scenario:") {
+		t.Errorf("no diagnostic on stderr: %q", stderr.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-f", "/nonexistent/x.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

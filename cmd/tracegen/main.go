@@ -19,13 +19,23 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags and IO come from the caller and
+// the exit status is returned instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		suite = flag.String("suite", "spec2000", "workload: spec2000, specweb or tpcc")
-		n     = flag.Int("n", 100_000, "number of accesses")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("o", "", "output file (default stdout)")
+		suite = fs.String("suite", "spec2000", "workload: spec2000, specweb or tpcc")
+		n     = fs.Int("n", 100_000, "number of accesses")
+		seed  = fs.Int64("seed", 1, "random seed")
+		out   = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var p trace.Params
 	switch *suite {
@@ -36,32 +46,27 @@ func main() {
 	case "tpcc":
 		p = trace.TPCC(*seed)
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown suite %q\n", *suite)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: unknown suite %q\n", *suite)
+		return 1
 	}
 	g, err := trace.New(p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "tracegen:", err)
-				os.Exit(1)
-			}
-		}()
 		w = f
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	defer bw.Flush()
 
 	for i := 0; i < *n; i++ {
 		a := g.Next()
@@ -71,4 +76,17 @@ func main() {
 		}
 		fmt.Fprintf(bw, "%c 0x%x\n", op, a.Addr)
 	}
+	// A failed flush or close means a truncated trace: report it in the
+	// exit status so pipelines do not consume partial output.
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+	}
+	return 0
 }

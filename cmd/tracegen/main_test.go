@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var lineRE = regexp.MustCompile(`^[RW] 0x[0-9a-f]+$`)
+
+func TestRunWritesTrace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-suite", "tpcc", "-n", "50"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("want 50 accesses, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if !lineRE.MatchString(l) {
+			t.Fatalf("malformed trace line %q", l)
+		}
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	gen := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-suite", "spec2000", "-n", "200", "-seed", "7"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different traces")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trace")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-n", "10", "-o", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 10 {
+		t.Errorf("file has %d lines, want 10", n)
+	}
+}
+
+func TestRunUnknownSuite(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-suite", "linpack"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown suite: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "linpack") {
+		t.Errorf("diagnostic does not name the suite: %q", stderr.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-zap"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

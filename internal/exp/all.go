@@ -1,6 +1,10 @@
 package exp
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sweep"
+)
 
 // Artifact is one reproduced figure or table.
 type Artifact struct {
@@ -31,64 +35,73 @@ func (a Artifact) CSV() string {
 	return ""
 }
 
+// Experiment is one entry of the evaluation: a stable artifact ID and the
+// builder that regenerates it from an environment.
+type Experiment struct {
+	ID  string
+	Run func(*Env) (Artifact, error)
+}
+
+// figExp wraps a figure builder as an Experiment.
+func figExp(id string, f func(*Env) (Figure, error)) Experiment {
+	return Experiment{ID: id, Run: func(e *Env) (Artifact, error) {
+		fig, err := f(e)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{ID: fig.ID, Figure: &fig}, nil
+	}}
+}
+
+// tabExp wraps a table builder as an Experiment.
+func tabExp(id string, f func(*Env) (Table, error)) Experiment {
+	return Experiment{ID: id, Run: func(e *Env) (Artifact, error) {
+		tab, err := f(e)
+		if err != nil {
+			return Artifact{}, err
+		}
+		return Artifact{ID: tab.ID, Table: &tab}, nil
+	}}
+}
+
+// Experiments is the registry of the paper's evaluation in the paper's
+// order. All() runs the whole list; cmd/figures uses it to list artifact
+// IDs and to run a single artifact without paying for the rest.
+func Experiments() []Experiment {
+	return []Experiment{
+		figExp("fig1", (*Env).Fig1),
+		tabExp("tab-schemes", (*Env).SchemeComparison),
+		tabExp("tab-assignments", (*Env).SchemeAssignments),
+		tabExp("tab-knob", (*Env).KnobSensitivity),
+		tabExp("tab-missrates", (*Env).MissRateTable),
+		tabExp("tab-l2-single", func(e *Env) (Table, error) { return e.L2SizeSweep(false) }),
+		tabExp("tab-l2-split", func(e *Env) (Table, error) { return e.L2SizeSweep(true) }),
+		tabExp("tab-l1", (*Env).L1Sweep),
+		figExp("fig2", (*Env).Fig2),
+		tabExp("tab-fig2-summary", (*Env).Fig2Summary),
+		tabExp("tab-baseline", (*Env).BaselineComparison),
+		tabExp("tab-fit", (*Env).FitQuality),
+	}
+}
+
 // All runs every experiment in the paper's order and returns the artifacts.
-// An error in any experiment aborts the run: partial evaluations are worse
-// than loud failures in a reproduction.
+// Experiments fan out across e.Workers workers (the shared substrates are
+// singleflight-memoized, so each model and miss matrix is still built
+// once); artifacts are collected in registry order, so the output is
+// byte-identical to a sequential run. An error in any experiment aborts
+// the run: partial evaluations are worse than loud failures in a
+// reproduction.
 func (e *Env) All() ([]Artifact, error) {
-	var out []Artifact
+	return e.RunExperiments(Experiments())
+}
 
-	addF := func(f Figure, err error) error {
+// RunExperiments runs a subset of the registry, preserving input order.
+func (e *Env) RunExperiments(exps []Experiment) ([]Artifact, error) {
+	return sweep.Map(len(exps), e.workers(), func(i int) (Artifact, error) {
+		a, err := exps[i].Run(e)
 		if err != nil {
-			return fmt.Errorf("exp: %s: %w", f.ID, err)
+			return Artifact{}, fmt.Errorf("exp: %s: %w", exps[i].ID, err)
 		}
-		fc := f
-		out = append(out, Artifact{ID: f.ID, Figure: &fc})
-		return nil
-	}
-	addT := func(t Table, err error) error {
-		if err != nil {
-			return fmt.Errorf("exp: %s: %w", t.ID, err)
-		}
-		tc := t
-		out = append(out, Artifact{ID: t.ID, Table: &tc})
-		return nil
-	}
-
-	if err := addF(e.Fig1()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.SchemeComparison()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.SchemeAssignments()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.KnobSensitivity()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.MissRateTable()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.L2SizeSweep(false)); err != nil {
-		return nil, err
-	}
-	if err := addT(e.L2SizeSweep(true)); err != nil {
-		return nil, err
-	}
-	if err := addT(e.L1Sweep()); err != nil {
-		return nil, err
-	}
-	if err := addF(e.Fig2()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.Fig2Summary()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.BaselineComparison()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.FitQuality()); err != nil {
-		return nil, err
-	}
-	return out, nil
+		return a, nil
+	})
 }

@@ -2,13 +2,17 @@
 // table of the paper's evaluation from this repository's substrates, and
 // renders them as ASCII tables, CSV, and coarse terminal plots.
 //
-// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records the
-// paper-vs-measured comparison produced from this package's output.
+// The per-experiment index is the Experiments registry in all.go;
+// EXPERIMENTS.md records the paper-vs-measured comparison produced from
+// this package's output. Experiments fan out across the sweep engine
+// (internal/sweep) and share lazily built caches, fitted models and miss
+// matrices through singleflight memos, so a parallel run builds each
+// substrate exactly once and emits output byte-identical to a sequential
+// run.
 package exp
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/cachecfg"
 	"repro/internal/charlib"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -33,16 +38,17 @@ type Env struct {
 	Seed int64
 	// MinR2 gates model fits (0 accepts any fit).
 	MinR2 float64
+	// Workers bounds the top-level experiment fan-out of All: 0 uses
+	// GOMAXPROCS, 1 runs the experiments one at a time. Sweeps inside an
+	// experiment (simulation, grid scans) still size themselves from
+	// GOMAXPROCS — cap that instead to bound total parallelism. Output is
+	// identical at any setting.
+	Workers int
 
-	// l2Margin overrides the L2-sweep AMAT margin when non-zero (used by
-	// ablations; see L2SweepAtMargin).
-	l2Margin float64
-
-	mu       sync.Mutex
-	caches   map[string]*components.Cache
-	models   map[string]*model.CacheModel
-	matrices []*sim.MissMatrix
-	average  *sim.MissMatrix
+	caches   sweep.Memo[string, *components.Cache]
+	models   sweep.Memo[string, *model.CacheModel]
+	matrices sweep.Memo[struct{}, []*sim.MissMatrix]
+	average  sweep.Memo[struct{}, *sim.MissMatrix]
 }
 
 // NewEnv returns an environment with production-scale defaults.
@@ -53,8 +59,6 @@ func NewEnv() *Env {
 		Accesses: 1_000_000,
 		Seed:     1,
 		MinR2:    0.97,
-		caches:   make(map[string]*components.Cache),
-		models:   make(map[string]*model.CacheModel),
 	}
 }
 
@@ -67,20 +71,13 @@ func NewQuickEnv() *Env {
 }
 
 // Cache returns (building and caching on first use) the transistor-level
-// cache for a configuration.
+// cache for a configuration. Concurrent callers for the same configuration
+// share one build.
 func (e *Env) Cache(cfg cachecfg.Config) (*components.Cache, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	key := cfg.Name + "/" + cfg.String()
-	if c, ok := e.caches[key]; ok {
-		return c, nil
-	}
-	c, err := components.New(e.Tech, cfg)
-	if err != nil {
-		return nil, err
-	}
-	e.caches[key] = c
-	return c, nil
+	return e.caches.Do(key, func() (*components.Cache, error) {
+		return components.New(e.Tech, cfg)
+	})
 }
 
 // Model returns (building and caching on first use) the fitted analytical
@@ -90,54 +87,38 @@ func (e *Env) Model(cfg cachecfg.Config) (*model.CacheModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	key := cfg.Name + "/" + cfg.String()
-	if m, ok := e.models[key]; ok {
+	return e.models.Do(key, func() (*model.CacheModel, error) {
+		m, err := model.Build(c, charlib.DefaultGrid(), e.MinR2)
+		if err != nil {
+			return nil, fmt.Errorf("exp: model for %v: %w", cfg, err)
+		}
 		return m, nil
-	}
-	m, err := model.Build(c, charlib.DefaultGrid(), e.MinR2)
-	if err != nil {
-		return nil, fmt.Errorf("exp: model for %v: %w", cfg, err)
-	}
-	e.models[key] = m
-	return m, nil
+	})
 }
 
 // SuiteMatrices returns the per-workload miss matrices over the canonical
 // L1/L2 design spaces, simulating on first use.
 func (e *Env) SuiteMatrices() ([]*sim.MissMatrix, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.matrices != nil {
-		return e.matrices, nil
-	}
-	ms, err := sim.BuildSuiteMatrices(trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
-	if err != nil {
-		return nil, err
-	}
-	e.matrices = ms
-	return ms, nil
+	return e.matrices.Do(struct{}{}, func() ([]*sim.MissMatrix, error) {
+		return sim.BuildSuiteMatrices(trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
+	})
 }
 
 // MissMatrix returns the equal-weight average of the suite matrices — the
 // aggregate statistics the paper's Section 5 experiments consume.
 func (e *Env) MissMatrix() (*sim.MissMatrix, error) {
-	if _, err := e.SuiteMatrices(); err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.average != nil {
-		return e.average, nil
-	}
-	avg, err := sim.Average(e.matrices)
-	if err != nil {
-		return nil, err
-	}
-	e.average = avg
-	return avg, nil
+	return e.average.Do(struct{}{}, func() (*sim.MissMatrix, error) {
+		ms, err := e.SuiteMatrices()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Average(ms)
+	})
 }
+
+// workers resolves the Env's fan-out setting.
+func (e *Env) workers() int { return sweep.Workers(e.Workers) }
 
 // kbLabel formats a size in bytes as "16KB" / "1MB".
 func kbLabel(bytes int) string {

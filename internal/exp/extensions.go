@@ -15,9 +15,9 @@ import (
 	"repro/internal/units"
 )
 
-// This file holds the extension and ablation experiments promised in
-// DESIGN.md section 8 — studies beyond the paper's own evaluation that
-// probe its assumptions and its related-work context.
+// This file holds the extension and ablation experiments — studies beyond
+// the paper's own evaluation that probe its assumptions and its
+// related-work context. They run after the main registry (see all.go).
 
 // ModelVsDirectAblation quantifies the cost of optimizing against the
 // fitted analytical models (the paper's approach) instead of the raw

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll flattens a full artifact list (ASCII + CSV forms) into one byte
+// stream for whole-run comparison.
+func renderAll(t *testing.T, e *Env) string {
+	t.Helper()
+	arts, err := e.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(Experiments()) {
+		t.Fatalf("got %d artifacts, want %d", len(arts), len(Experiments()))
+	}
+	var b strings.Builder
+	for _, a := range arts {
+		b.WriteString(a.ID)
+		b.WriteString("\n")
+		b.WriteString(a.Render())
+		b.WriteString(a.CSV())
+	}
+	return b.String()
+}
+
+// tinyEnv returns a fresh environment small enough to rebuild repeatedly:
+// determinism does not depend on trace length, only on per-shard seeding.
+func tinyEnv(workers int) *Env {
+	e := NewQuickEnv()
+	e.Accesses = 100_000
+	e.Workers = workers
+	return e
+}
+
+// TestAllParallelByteIdentical is the sweep engine's contract test: three
+// parallel runs at different worker counts must render (ASCII and CSV)
+// byte-identically to a sequential run, each starting from a cold
+// environment so matrices, models and caches are rebuilt under contention.
+func TestAllParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds four cold environments")
+	}
+	seq := renderAll(t, tinyEnv(1))
+	for _, workers := range []int{0, 2, 8} {
+		par := renderAll(t, tinyEnv(workers))
+		if par != seq {
+			t.Fatalf("workers=%d output differs from sequential run", workers)
+		}
+	}
+}
+
+// TestRegistryIDsStable pins the artifact registry: IDs are part of the CLI
+// surface (figures -only/-list) and of the CSV file names.
+func TestRegistryIDsStable(t *testing.T) {
+	want := []string{
+		"fig1", "tab-schemes", "tab-assignments", "tab-knob", "tab-missrates",
+		"tab-l2-single", "tab-l2-split", "tab-l1", "fig2", "tab-fig2-summary",
+		"tab-baseline", "tab-fit",
+	}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(exps), len(want))
+	}
+	for i, x := range exps {
+		if x.ID != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, x.ID, want[i])
+		}
+	}
+}
+
+// TestRunExperimentsSubset checks that a single registry entry can run in
+// isolation and reports its own ID on the artifact.
+func TestRunExperimentsSubset(t *testing.T) {
+	e := env(t)
+	var fit []Experiment
+	for _, x := range Experiments() {
+		if x.ID == "tab-fit" {
+			fit = append(fit, x)
+		}
+	}
+	arts, err := e.RunExperiments(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].ID != "tab-fit" || arts[0].Table == nil {
+		t.Fatalf("subset run returned %+v", arts)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/device"
 	"repro/internal/opt"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -70,22 +71,33 @@ func (e *Env) SchemeComparison() (Table, error) {
 			"paper: III worst, I best, II only slightly behind I and the preferred (economical) scheme",
 		},
 	}
-	for _, frac := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		budget := lo + frac*(hi-lo)
+	// One worker per delay budget; rows are collected in budget order so the
+	// table matches a sequential run byte for byte.
+	fracs := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	rows, err := sweep.Map(len(fracs), e.workers(), func(i int) ([]string, error) {
+		budget := lo + fracs[i]*(hi-lo)
 		r1 := opt.OptimizeSchemeI(m, ops, budget, 0)
 		r2 := opt.OptimizeSchemeII(m, ops, budget)
 		r3 := opt.OptimizeSchemeIII(m, ops, budget)
 		if !r1.Feasible || !r2.Feasible || !r3.Feasible {
-			continue
+			return nil, nil
 		}
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%.0f", units.ToPS(budget)),
 			fmt.Sprintf("%.4f", units.ToMW(r1.LeakageW)),
 			fmt.Sprintf("%.4f", units.ToMW(r2.LeakageW)),
 			fmt.Sprintf("%.4f", units.ToMW(r3.LeakageW)),
 			fmt.Sprintf("%.2f", r3.LeakageW/r2.LeakageW),
 			fmt.Sprintf("%.2f", r2.LeakageW/r1.LeakageW),
-		)
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
+		}
 	}
 	return t, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/device"
 	"repro/internal/opt"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -70,13 +71,17 @@ func (e *Env) L2SizeSweep(split bool) (Table, error) {
 	// Experiment (a) sits right at the 1MB-conservative point, where the
 	// "bigger L2 leaks less" trade shows; experiment (b) tightens the target
 	// ~3% so the knob split has live speed to buy back.
-	margin := e.l2Margin
-	if margin == 0 {
-		margin = 1.002
-		if split {
-			margin = 1.03
-		}
+	margin := 1.002
+	if split {
+		margin = 1.03
 	}
+	return e.l2SizeSweepAt(margin, split)
+}
+
+// l2SizeSweepAt is L2SizeSweep at an explicit AMAT margin. The margin is a
+// parameter (not Env state) so concurrent experiments never observe each
+// other's overrides.
+func (e *Env) l2SizeSweepAt(margin float64, split bool) (Table, error) {
 	target, err := e.commonL2AMATTarget(margin)
 	if err != nil {
 		return Table{}, err
@@ -106,30 +111,48 @@ func (e *Env) L2SizeSweep(split bool) (Table, error) {
 	ops := opt.PairsFromGrid(g.Vths, g.ToxAs)
 	a1 := components.Uniform(opt.DefaultOP())
 
-	best, bestLeak := "", math.Inf(1)
-	for _, l2Size := range cachecfg.L2Sizes() {
+	// One worker per L2 size; rows and the best-size fold happen afterwards
+	// in size order, matching the sequential table byte for byte.
+	sizes := cachecfg.L2Sizes()
+	type sizeRow struct {
+		row  []string
+		leak float64
+		ok   bool
+	}
+	rows, err := sweep.Map(len(sizes), e.workers(), func(i int) (sizeRow, error) {
+		l2Size := sizes[i]
 		tl, err := e.twoLevelFor(l1Fixed().SizeBytes, l2Size)
 		if err != nil {
-			return Table{}, err
+			return sizeRow{}, err
 		}
 		r := tl.OptimizeL2(scheme, a1, ops, target)
 		if !r.Feasible {
-			t.AddRow(kbLabel(l2Size), fmt.Sprintf("%.3f", tl.M2), "infeasible", "-", "-", "-")
-			continue
+			return sizeRow{row: []string{kbLabel(l2Size), fmt.Sprintf("%.3f", tl.M2), "infeasible", "-", "-", "-"}}, nil
 		}
 		cell := r.L2Assignment[components.PartCellArray]
 		peri := r.L2Assignment[components.PartDecoder]
-		t.AddRow(
-			kbLabel(l2Size),
-			fmt.Sprintf("%.3f", tl.M2),
-			fmt.Sprintf("%.3f", units.ToMW(r.LeakageW)),
-			fmt.Sprintf("%.0f", units.ToPS(r.AMATS)),
-			cell.String(),
-			peri.String(),
-		)
-		if r.LeakageW < bestLeak {
-			bestLeak = r.LeakageW
-			best = kbLabel(l2Size)
+		return sizeRow{
+			row: []string{
+				kbLabel(l2Size),
+				fmt.Sprintf("%.3f", tl.M2),
+				fmt.Sprintf("%.3f", units.ToMW(r.LeakageW)),
+				fmt.Sprintf("%.0f", units.ToPS(r.AMATS)),
+				cell.String(),
+				peri.String(),
+			},
+			leak: r.LeakageW,
+			ok:   true,
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	best, bestLeak := "", math.Inf(1)
+	for i, sr := range rows {
+		t.AddRow(sr.row...)
+		if sr.ok && sr.leak < bestLeak {
+			bestLeak = sr.leak
+			best = kbLabel(sizes[i])
 		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("minimum-leakage L2 size: %s", best))
@@ -151,13 +174,19 @@ func (e *Env) L1Sweep() (Table, error) {
 	a2 := components.Split(opt.ConservativeOP(), opt.DefaultOP())
 
 	// Common AMAT target: the worst fast-corner AMAT across L1 sizes + margin.
-	worst := 0.0
-	for _, l1Size := range cachecfg.L1Sizes() {
-		tl, err := e.twoLevelFor(l1Size, l2Size)
+	amats, err := sweep.Map(len(cachecfg.L1Sizes()), e.workers(), func(i int) (float64, error) {
+		tl, err := e.twoLevelFor(cachecfg.L1Sizes()[i], l2Size)
 		if err != nil {
-			return Table{}, err
+			return 0, err
 		}
-		if am := tl.AMAT(components.Uniform(opt.DefaultOP()), a2); am > worst {
+		return tl.AMAT(components.Uniform(opt.DefaultOP()), a2), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	worst := 0.0
+	for _, am := range amats {
+		if am > worst {
 			worst = am
 		}
 	}
@@ -172,28 +201,44 @@ func (e *Env) L1Sweep() (Table, error) {
 			"paper: L1 local miss rates are low and vary little from 4K to 64K, so a small L1 minimizes leakage",
 		},
 	}
-	best, bestLeak := "", math.Inf(1)
-	for _, l1Size := range cachecfg.L1Sizes() {
+	sizes := cachecfg.L1Sizes()
+	type sizeRow struct {
+		row  []string
+		leak float64
+		ok   bool
+	}
+	rows, err := sweep.Map(len(sizes), e.workers(), func(i int) (sizeRow, error) {
+		l1Size := sizes[i]
 		tl, err := e.twoLevelFor(l1Size, l2Size)
 		if err != nil {
-			return Table{}, err
+			return sizeRow{}, err
 		}
 		r := tl.OptimizeL1(opt.SchemeII, a2, ops, target)
 		if !r.Feasible {
-			t.AddRow(kbLabel(l1Size), fmt.Sprintf("%.3f", mm.L1Local[l1Size]), "infeasible", "-", "-")
-			continue
+			return sizeRow{row: []string{kbLabel(l1Size), fmt.Sprintf("%.3f", mm.L1Local[l1Size]), "infeasible", "-", "-"}}, nil
 		}
 		l1Leak := tl.L1.LeakageW(r.L1Assignment)
-		t.AddRow(
-			kbLabel(l1Size),
-			fmt.Sprintf("%.3f", mm.L1Local[l1Size]),
-			fmt.Sprintf("%.3f", units.ToMW(r.LeakageW)),
-			fmt.Sprintf("%.3f", units.ToMW(l1Leak)),
-			fmt.Sprintf("%.0f", units.ToPS(r.AMATS)),
-		)
-		if r.LeakageW < bestLeak {
-			bestLeak = r.LeakageW
-			best = kbLabel(l1Size)
+		return sizeRow{
+			row: []string{
+				kbLabel(l1Size),
+				fmt.Sprintf("%.3f", mm.L1Local[l1Size]),
+				fmt.Sprintf("%.3f", units.ToMW(r.LeakageW)),
+				fmt.Sprintf("%.3f", units.ToMW(l1Leak)),
+				fmt.Sprintf("%.0f", units.ToPS(r.AMATS)),
+			},
+			leak: r.LeakageW,
+			ok:   true,
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	best, bestLeak := "", math.Inf(1)
+	for i, sr := range rows {
+		t.AddRow(sr.row...)
+		if sr.ok && sr.leak < bestLeak {
+			bestLeak = sr.leak
+			best = kbLabel(sizes[i])
 		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("minimum-leakage L1 size: %s", best))
@@ -236,13 +281,10 @@ func (e *Env) MissRateTable() (Table, error) {
 // L2SweepAtMargin exposes the L2 sweep at an explicit AMAT margin for
 // sensitivity studies and ablations.
 func (e *Env) L2SweepAtMargin(margin float64) (single, split Table, err error) {
-	old := e.l2Margin
-	e.l2Margin = margin
-	defer func() { e.l2Margin = old }()
-	single, err = e.L2SizeSweep(false)
+	single, err = e.l2SizeSweepAt(margin, false)
 	if err != nil {
 		return
 	}
-	split, err = e.L2SizeSweep(true)
+	split, err = e.l2SizeSweepAt(margin, true)
 	return
 }

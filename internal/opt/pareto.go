@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/device"
+	"repro/internal/sweep"
 )
 
 // ParetoPoint is one (delay, leakage) trade-off point with the operating
@@ -42,16 +43,16 @@ func ParetoFront(points []ParetoPoint) []ParetoPoint {
 }
 
 // componentPareto builds the per-component Pareto set over the candidate
-// operating points.
+// operating points, sharding the evaluation scan across workers (the front
+// reduction sorts, so input-ordered collection keeps it deterministic).
 func componentPareto(ev ComponentEvaluator, part int, ops []device.OperatingPoint) []ParetoPoint {
-	pts := make([]ParetoPoint, 0, len(ops))
-	for _, op := range ops {
-		pts = append(pts, ParetoPoint{
-			DelayS:   ev.PartDelayS(partID(part), op),
-			LeakageW: ev.PartLeakageW(partID(part), op),
-			OP:       op,
-		})
-	}
+	pts, _ := sweep.Map(len(ops), scanWorkers(len(ops)), func(i int) (ParetoPoint, error) {
+		return ParetoPoint{
+			DelayS:   ev.PartDelayS(partID(part), ops[i]),
+			LeakageW: ev.PartLeakageW(partID(part), ops[i]),
+			OP:       ops[i],
+		}, nil
+	})
 	return ParetoFront(pts)
 }
 

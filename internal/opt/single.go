@@ -5,24 +5,60 @@ import (
 
 	"repro/internal/components"
 	"repro/internal/device"
+	"repro/internal/sweep"
 )
 
 func partID(i int) components.PartID { return components.PartID(i) }
 
+// minParallelOps is the grid size below which the scheme optimizers skip
+// goroutine fan-out: tiny scans are cheaper than the scheduling they'd buy.
+const minParallelOps = 256
+
+// scanWorkers picks the shard fan-out for an n-candidate scan.
+func scanWorkers(n int) int {
+	if n < minParallelOps {
+		return 1
+	}
+	return sweep.Workers(0)
+}
+
 // OptimizeSchemeIII finds the least-leaky uniform assignment meeting the
-// delay budget by scanning the candidate operating points.
+// delay budget by scanning the candidate operating points. The scan is
+// sharded across workers; shard-local bests are reduced in input order with
+// the same strict inequality as the sequential scan, so the earliest
+// feasible candidate still wins ties and the result is identical.
 func OptimizeSchemeIII(ev Evaluator, ops []device.OperatingPoint, delayBudget float64) Result {
-	best := infeasible(SchemeIII)
-	for _, op := range ops {
-		a := components.Uniform(op)
-		best.Evaluated++
-		if d := ev.AccessTimeS(a); d <= delayBudget {
-			if l := ev.LeakageW(a); l < best.LeakageW {
-				best.Assignment = a
-				best.LeakageW = l
-				best.DelayS = d
-				best.Feasible = true
+	shards := sweep.Shards(len(ops), scanWorkers(len(ops)))
+	partials, _ := sweep.Map(len(shards), len(shards), func(si int) (Result, error) {
+		best := infeasible(SchemeIII)
+		for _, op := range ops[shards[si].Lo:shards[si].Hi] {
+			a := components.Uniform(op)
+			best.Evaluated++
+			if d := ev.AccessTimeS(a); d <= delayBudget {
+				if l := ev.LeakageW(a); l < best.LeakageW {
+					best.Assignment = a
+					best.LeakageW = l
+					best.DelayS = d
+					best.Feasible = true
+				}
 			}
+		}
+		return best, nil
+	})
+	return reduceResults(SchemeIII, partials)
+}
+
+// reduceResults folds shard-local optimization results in shard order,
+// keeping the first strict improvement (sequential tie-breaking) and summing
+// evaluation counts.
+func reduceResults(s Scheme, partials []Result) Result {
+	best := infeasible(s)
+	for _, p := range partials {
+		best.Evaluated += p.Evaluated
+		if p.Feasible && p.LeakageW < best.LeakageW {
+			ev := best.Evaluated
+			best = p
+			best.Evaluated = ev
 		}
 	}
 	return best
@@ -30,22 +66,26 @@ func OptimizeSchemeIII(ev Evaluator, ops []device.OperatingPoint, delayBudget fl
 
 // OptimizeSchemeII finds the least-leaky (cell pair, periphery pair)
 // assignment meeting the delay budget. The two groups decompose additively,
-// so each group is reduced to its Pareto front first and the fronts are
+// so each group is reduced to its Pareto front first (the two front builds
+// run concurrently, each sharding its candidate scan) and the fronts are
 // combined in O(|cell front| * log |periph front|).
 func OptimizeSchemeII(ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64) Result {
-	cellFront := componentPareto(ev, int(components.PartCellArray), ops)
-
-	// Periphery group: three components sharing one pair.
-	periphPts := make([]ParetoPoint, 0, len(ops))
-	for _, op := range ops {
-		var d, l float64
-		for _, p := range []components.PartID{components.PartDecoder, components.PartAddrDrivers, components.PartDataDrivers} {
-			d += ev.PartDelayS(p, op)
-			l += ev.PartLeakageW(p, op)
+	fronts, _ := sweep.Map(2, 2, func(which int) ([]ParetoPoint, error) {
+		if which == 0 {
+			return componentPareto(ev, int(components.PartCellArray), ops), nil
 		}
-		periphPts = append(periphPts, ParetoPoint{DelayS: d, LeakageW: l, OP: op})
-	}
-	periphFront := ParetoFront(periphPts)
+		// Periphery group: three components sharing one pair.
+		periphPts, _ := sweep.Map(len(ops), scanWorkers(len(ops)), func(i int) (ParetoPoint, error) {
+			var d, l float64
+			for _, p := range []components.PartID{components.PartDecoder, components.PartAddrDrivers, components.PartDataDrivers} {
+				d += ev.PartDelayS(p, ops[i])
+				l += ev.PartLeakageW(p, ops[i])
+			}
+			return ParetoPoint{DelayS: d, LeakageW: l, OP: ops[i]}, nil
+		})
+		return ParetoFront(periphPts), nil
+	})
+	cellFront, periphFront := fronts[0], fronts[1]
 
 	best := infeasible(SchemeII)
 	best.Evaluated = len(ops) * 2
@@ -82,12 +122,9 @@ func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBu
 	if bins <= 0 {
 		bins = SchemeIBins
 	}
-	fronts := make([][]ParetoPoint, components.PartCount)
-	evaluated := 0
-	for i := range fronts {
-		fronts[i] = componentPareto(ev, i, ops)
-		evaluated += len(ops)
-	}
+	fronts, _ := sweep.Map(int(components.PartCount), int(components.PartCount),
+		func(i int) ([]ParetoPoint, error) { return componentPareto(ev, i, ops), nil })
+	evaluated := int(components.PartCount) * len(ops)
 	binW := delayBudget / float64(bins)
 	if binW <= 0 {
 		return infeasible(SchemeI)
@@ -237,11 +274,12 @@ func FeasibleDelayRange(ev Evaluator, ops []device.OperatingPoint) (lo, hi float
 }
 
 // Frontier sweeps delay budgets and returns one optimization result per
-// budget — the leakage-vs-delay trade-off curve of the scheme.
+// budget — the leakage-vs-delay trade-off curve of the scheme. Budgets are
+// independent, so each runs on its own worker; results come back in budget
+// order.
 func Frontier(s Scheme, ev ComponentEvaluator, ops []device.OperatingPoint, budgets []float64) []Result {
-	out := make([]Result, 0, len(budgets))
-	for _, b := range budgets {
-		out = append(out, Optimize(s, ev, ops, b))
-	}
+	out, _ := sweep.Map(len(budgets), 0, func(i int) (Result, error) {
+		return Optimize(s, ev, ops, budgets[i]), nil
+	})
 	return out
 }

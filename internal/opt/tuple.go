@@ -7,6 +7,7 @@ import (
 	"repro/internal/amat"
 	"repro/internal/components"
 	"repro/internal/device"
+	"repro/internal/sweep"
 )
 
 // GroupID identifies one knob group of the whole memory system: each cache
@@ -177,6 +178,11 @@ func (ms *MemorySystem) groupTables(ops []device.OperatingPoint) [GroupCount]gro
 // AMAT budget. Candidates are coarse grids (the fab offers a handful of
 // options); all subsets of the candidate lists of the budgeted sizes are
 // enumerated, and within each subset all group assignments are scanned.
+//
+// Each (Vth set, Tox set) choice is an independent shard: shards run in
+// parallel and their local optima are reduced in enumeration order with the
+// sequential scan's strict inequality, so the winner (and every output
+// byte) matches the sequential search.
 func (ms *MemorySystem) OptimizeTuples(budget TupleBudget, vthCands, toxCands []float64, amatBudget float64) TupleResult {
 	res := TupleResult{Budget: budget, EnergyJ: math.Inf(1)}
 	if err := budget.Validate(len(vthCands), len(toxCands)); err != nil {
@@ -186,50 +192,66 @@ func (ms *MemorySystem) OptimizeTuples(budget TupleBudget, vthCands, toxCands []
 	vthSets := combinations(len(vthCands), budget.NVth)
 	toxSets := combinations(len(toxCands), budget.NTox)
 
-	for _, vs := range vthSets {
-		for _, ts := range toxSets {
-			// Build the pair menu for this value-set choice.
-			ops := make([]device.OperatingPoint, 0, len(vs)*len(ts))
-			for _, vi := range vs {
-				for _, ti := range ts {
-					ops = append(ops, device.OP(vthCands[vi], toxCands[ti]))
-				}
-			}
-			tables := ms.groupTables(ops)
-			n := len(ops)
+	nCombos := len(vthSets) * len(toxSets)
+	partials, _ := sweep.Map(nCombos, 0, func(ci int) (TupleResult, error) {
+		vs := vthSets[ci/len(toxSets)]
+		ts := toxSets[ci%len(toxSets)]
+		return ms.tupleCombo(budget, vthCands, toxCands, vs, ts, amatBudget), nil
+	})
+	for _, p := range partials {
+		res.Evaluated += p.Evaluated
+		if p.Feasible && p.EnergyJ < res.EnergyJ {
+			ev := res.Evaluated
+			res = p
+			res.Evaluated = ev
+		}
+	}
+	return res
+}
 
-			// Enumerate all n^4 group assignments.
-			var idx [GroupCount]int
-			for idx[0] = 0; idx[0] < n; idx[0]++ {
-				for idx[1] = 0; idx[1] < n; idx[1]++ {
-					t1 := tables[0].delay[idx[0]] + tables[1].delay[idx[1]]
-					l1leak := tables[0].leak[idx[0]] + tables[1].leak[idx[1]]
-					for idx[2] = 0; idx[2] < n; idx[2]++ {
-						for idx[3] = 0; idx[3] < n; idx[3]++ {
-							res.Evaluated++
-							t2 := tables[2].delay[idx[2]] + tables[3].delay[idx[3]]
-							am := t1 + ms.M1*(t2+ms.M2*ms.Mem.LatencyS)
-							if am > amatBudget {
-								continue
-							}
-							l2leak := tables[2].leak[idx[2]] + tables[3].leak[idx[3]]
-							var sa SystemAssignment
-							for g := range sa {
-								sa[g] = ops[idx[g]]
-							}
-							edyn := ms.L1.DynamicEnergyJ(sa.L1()) +
-								ms.M1*(ms.L2.DynamicEnergyJ(sa.L2())+ms.M2*ms.Mem.EnergyJ)
-							e := edyn + (l1leak+l2leak+ms.Mem.StandbyW)*am
-							if e < res.EnergyJ {
-								res.EnergyJ = e
-								res.AMATS = am
-								res.LeakageW = l1leak + l2leak
-								res.Assignment = sa
-								res.VthSet = pick(vthCands, vs)
-								res.ToxSet = pick(toxCands, ts)
-								res.Feasible = true
-							}
-						}
+// tupleCombo scans all group assignments of one (Vth set, Tox set) choice.
+func (ms *MemorySystem) tupleCombo(budget TupleBudget, vthCands, toxCands []float64, vs, ts []int, amatBudget float64) TupleResult {
+	res := TupleResult{Budget: budget, EnergyJ: math.Inf(1)}
+	// Build the pair menu for this value-set choice.
+	ops := make([]device.OperatingPoint, 0, len(vs)*len(ts))
+	for _, vi := range vs {
+		for _, ti := range ts {
+			ops = append(ops, device.OP(vthCands[vi], toxCands[ti]))
+		}
+	}
+	tables := ms.groupTables(ops)
+	n := len(ops)
+
+	// Enumerate all n^4 group assignments.
+	var idx [GroupCount]int
+	for idx[0] = 0; idx[0] < n; idx[0]++ {
+		for idx[1] = 0; idx[1] < n; idx[1]++ {
+			t1 := tables[0].delay[idx[0]] + tables[1].delay[idx[1]]
+			l1leak := tables[0].leak[idx[0]] + tables[1].leak[idx[1]]
+			for idx[2] = 0; idx[2] < n; idx[2]++ {
+				for idx[3] = 0; idx[3] < n; idx[3]++ {
+					res.Evaluated++
+					t2 := tables[2].delay[idx[2]] + tables[3].delay[idx[3]]
+					am := t1 + ms.M1*(t2+ms.M2*ms.Mem.LatencyS)
+					if am > amatBudget {
+						continue
+					}
+					l2leak := tables[2].leak[idx[2]] + tables[3].leak[idx[3]]
+					var sa SystemAssignment
+					for g := range sa {
+						sa[g] = ops[idx[g]]
+					}
+					edyn := ms.L1.DynamicEnergyJ(sa.L1()) +
+						ms.M1*(ms.L2.DynamicEnergyJ(sa.L2())+ms.M2*ms.Mem.EnergyJ)
+					e := edyn + (l1leak+l2leak+ms.Mem.StandbyW)*am
+					if e < res.EnergyJ {
+						res.EnergyJ = e
+						res.AMATS = am
+						res.LeakageW = l1leak + l2leak
+						res.Assignment = sa
+						res.VthSet = pick(vthCands, vs)
+						res.ToxSet = pick(toxCands, ts)
+						res.Feasible = true
 					}
 				}
 			}
@@ -239,11 +261,11 @@ func (ms *MemorySystem) OptimizeTuples(budget TupleBudget, vthCands, toxCands []
 }
 
 // TupleCurve sweeps AMAT budgets for one tuple budget — one Figure 2 series.
+// Budgets are independent and run in parallel, collected in budget order.
 func (ms *MemorySystem) TupleCurve(budget TupleBudget, vthCands, toxCands []float64, amatBudgets []float64) []TupleResult {
-	out := make([]TupleResult, 0, len(amatBudgets))
-	for _, ab := range amatBudgets {
-		out = append(out, ms.OptimizeTuples(budget, vthCands, toxCands, ab))
-	}
+	out, _ := sweep.Map(len(amatBudgets), 0, func(i int) (TupleResult, error) {
+		return ms.OptimizeTuples(budget, vthCands, toxCands, amatBudgets[i]), nil
+	})
 	return out
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/device"
 	"repro/internal/mem"
+	"repro/internal/sweep"
 )
 
 // CacheEvaluator extends ComponentEvaluator with dynamic energy — everything
@@ -137,6 +138,16 @@ func (t *TwoLevel) OptimizeL2(scheme Scheme, a1 components.Assignment, ops []dev
 		TotalEnergyJ: sys.TotalEnergyJ(),
 		Feasible:     true,
 	}
+}
+
+// OptimizeL2Frontier evaluates OptimizeL2 at each AMAT budget, one budget
+// per worker, returning results in budget order — the two-level analogue of
+// Frontier for trade-off curves over the system constraint.
+func (t *TwoLevel) OptimizeL2Frontier(scheme Scheme, a1 components.Assignment, ops []device.OperatingPoint, amatBudgets []float64) []TwoLevelResult {
+	out, _ := sweep.Map(len(amatBudgets), 0, func(i int) (TwoLevelResult, error) {
+		return t.OptimizeL2(scheme, a1, ops, amatBudgets[i]), nil
+	})
+	return out
 }
 
 // OptimizeL1 finds the L1 assignment minimizing combined leakage under an

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cachecfg"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -31,9 +32,22 @@ type missStreamEntry struct {
 	write bool
 }
 
+// l1PassResult is the outcome of simulating one L1 size: its local stats
+// plus the L2 rates obtained by replaying its miss stream.
+type l1PassResult struct {
+	l1Local float64
+	wbRate  float64
+	l2Local map[int]float64
+}
+
 // BuildMissMatrix simulates the workload over every L1/L2 size combination.
 // The L1 miss stream for a given L1 size does not depend on the L2, so each
 // L1 pass is run once and its miss stream replayed into every candidate L2.
+//
+// The L1 passes are independent and run in parallel; each worker gets its
+// own trace generator seeded from the same Params, so every shard sees the
+// identical reference stream and the matrix is byte-for-byte the one a
+// sequential run produces.
 func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: need a positive access count, got %d", n)
@@ -41,8 +55,7 @@ func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix
 	if len(l1Sizes) == 0 || len(l2Sizes) == 0 {
 		return nil, fmt.Errorf("sim: empty size lists")
 	}
-	gen, err := trace.New(p)
-	if err != nil {
+	if _, err := trace.New(p); err != nil { // validate params before fan-out
 		return nil, err
 	}
 	m := &MissMatrix{
@@ -57,52 +70,70 @@ func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix
 	sort.Ints(m.L1Sizes)
 	sort.Ints(m.L2Sizes)
 
-	for _, l1Size := range m.L1Sizes {
-		gen.Reset()
-		l1, err := New(cachecfg.L1(l1Size), LRU, WriteBack)
-		if err != nil {
-			return nil, err
-		}
-		var stream []missStreamEntry
-		for i := 0; i < n; i++ {
-			a := gen.Next()
-			r := l1.Access(a.Addr, a.Write)
-			if r.Writeback {
-				stream = append(stream, missStreamEntry{addr: r.WritebackAddr, write: true})
-			}
-			if !r.Hit {
-				stream = append(stream, missStreamEntry{addr: a.Addr, write: a.Write})
-			}
-		}
-		m.L1Local[l1Size] = l1.Stats.MissRate()
-		m.WritebackPerAccess[l1Size] = float64(l1.Stats.Writebacks) / float64(l1.Stats.Accesses)
-		m.L2Local[l1Size] = make(map[int]float64)
-
-		for _, l2Size := range m.L2Sizes {
-			l2, err := New(cachecfg.L2(l2Size), LRU, WriteBack)
-			if err != nil {
-				return nil, err
-			}
-			for _, e := range stream {
-				l2.Access(e.addr, e.write)
-			}
-			m.L2Local[l1Size][l2Size] = l2.Stats.MissRate()
-		}
+	passes, err := sweep.Map(len(m.L1Sizes), 0, func(i int) (l1PassResult, error) {
+		return l1Pass(p, m.L1Sizes[i], m.L2Sizes, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, l1Size := range m.L1Sizes {
+		m.L1Local[l1Size] = passes[i].l1Local
+		m.WritebackPerAccess[l1Size] = passes[i].wbRate
+		m.L2Local[l1Size] = passes[i].l2Local
 	}
 	return m, nil
 }
 
-// BuildSuiteMatrices builds matrices for several workloads.
-func BuildSuiteMatrices(suites []trace.Params, l1Sizes, l2Sizes []int, n int) ([]*MissMatrix, error) {
-	out := make([]*MissMatrix, 0, len(suites))
-	for _, p := range suites {
-		m, err := BuildMissMatrix(p, l1Sizes, l2Sizes, n)
-		if err != nil {
-			return nil, fmt.Errorf("sim: workload %s: %w", p.Name, err)
+// l1Pass runs one L1 size: fresh per-shard trace generator, one L1
+// simulation, and a replay of the miss stream into every candidate L2.
+func l1Pass(p trace.Params, l1Size int, l2Sizes []int, n int) (l1PassResult, error) {
+	gen, err := trace.New(p)
+	if err != nil {
+		return l1PassResult{}, err
+	}
+	l1, err := New(cachecfg.L1(l1Size), LRU, WriteBack)
+	if err != nil {
+		return l1PassResult{}, err
+	}
+	var stream []missStreamEntry
+	for i := 0; i < n; i++ {
+		a := gen.Next()
+		r := l1.Access(a.Addr, a.Write)
+		if r.Writeback {
+			stream = append(stream, missStreamEntry{addr: r.WritebackAddr, write: true})
 		}
-		out = append(out, m)
+		if !r.Hit {
+			stream = append(stream, missStreamEntry{addr: a.Addr, write: a.Write})
+		}
+	}
+	out := l1PassResult{
+		l1Local: l1.Stats.MissRate(),
+		wbRate:  float64(l1.Stats.Writebacks) / float64(l1.Stats.Accesses),
+		l2Local: make(map[int]float64, len(l2Sizes)),
+	}
+	for _, l2Size := range l2Sizes {
+		l2, err := New(cachecfg.L2(l2Size), LRU, WriteBack)
+		if err != nil {
+			return l1PassResult{}, err
+		}
+		for _, e := range stream {
+			l2.Access(e.addr, e.write)
+		}
+		out.l2Local[l2Size] = l2.Stats.MissRate()
 	}
 	return out, nil
+}
+
+// BuildSuiteMatrices builds matrices for several workloads, one worker per
+// workload (each workload's generator is seeded independently).
+func BuildSuiteMatrices(suites []trace.Params, l1Sizes, l2Sizes []int, n int) ([]*MissMatrix, error) {
+	return sweep.Map(len(suites), 0, func(i int) (*MissMatrix, error) {
+		m, err := BuildMissMatrix(suites[i], l1Sizes, l2Sizes, n)
+		if err != nil {
+			return nil, fmt.Errorf("sim: workload %s: %w", suites[i].Name, err)
+		}
+		return m, nil
+	})
 }
 
 // Average combines matrices with equal weight — the paper reports "results

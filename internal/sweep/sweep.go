@@ -1,0 +1,181 @@
+// Package sweep is the repository's concurrent design-space sweep engine: a
+// bounded worker pool with deterministic, input-ordered result collection
+// and error aggregation, plus the contiguous-shard and memoization helpers
+// the experiment and optimization layers build on.
+//
+// The paper's evaluation is embarrassingly parallel — every L1xL2 size
+// combination, every assignment scheme, and every workload simulation is
+// independent — so the engine's only hard job is keeping parallel output
+// byte-identical to sequential output. Three rules make that hold
+// everywhere this package is used:
+//
+//   - results are written into a slice indexed by input position, never
+//     appended in completion order;
+//   - reductions over shards run in shard (input) order with the same
+//     strict-inequality tie-breaking the sequential scans use, so the
+//     earliest candidate still wins ties;
+//   - randomized work re-seeds per shard (e.g. one trace generator per L1
+//     size) instead of sharing one mutable RNG stream.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values <= 0 select GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(0..n-1) across at most workers goroutines and returns the
+// results in input order. With workers <= 1 (or n <= 1) it degenerates to a
+// plain loop, so single-threaded runs pay no synchronization cost.
+//
+// On error the sweep stops scheduling new items and Map returns every error
+// observed, joined in input order; already-running items finish first.
+// Which items got to run (and therefore the error text) can depend on the
+// worker count — the identical-output guarantee covers success results
+// only. A panic in fn is re-raised on the calling goroutine.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: item %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+					failed.Store(true)
+				}
+			}()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = fmt.Errorf("sweep: item %d: %w", i, err)
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	if failed.Load() {
+		return nil, errors.Join(errs...)
+	}
+	return out, nil
+}
+
+// Each is Map for side-effect-only work.
+func Each(n, workers int, fn func(i int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Shards splits [0, n) into at most k contiguous, input-ordered ranges of
+// near-equal size. Contiguity matters: an ordered reduction over shard-local
+// results then visits candidates in exactly the sequential scan order, which
+// is what keeps tie-breaking (and therefore output bytes) identical.
+func Shards(n, k int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	k = Workers(k)
+	if k > n {
+		k = n
+	}
+	out := make([]Range, 0, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := (n - lo) / (k - i)
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// memoEntry is one singleflight slot of a Memo.
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Memo is a concurrent memoization map: Do builds each key exactly once,
+// with concurrent callers for the same key blocking on the first build
+// instead of duplicating it. The zero value is ready to use. It replaces the
+// build-under-global-lock caching that serialized experiment fan-out.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+// Do returns the memoized value for key, invoking build on first use.
+// Errors are memoized too: builds here are deterministic, so retrying a
+// failed build would only repeat the failure.
+func (mo *Memo[K, V]) Do(key K, build func() (V, error)) (V, error) {
+	mo.mu.Lock()
+	if mo.m == nil {
+		mo.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := mo.m[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		mo.m[key] = e
+	}
+	mo.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}

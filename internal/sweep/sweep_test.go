@@ -1,0 +1,213 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		out, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, results out of order", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty sweep: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(30, workers, func(i int) (struct{}, error) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent workers, want <= %d", p, workers)
+	}
+}
+
+func TestMapErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(20, 4, func(i int) (int, error) {
+		if i == 5 || i == 11 {
+			return 0, fmt.Errorf("item-%d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error chain lost: %v", err)
+	}
+	// At least one failing item is reported with its index.
+	if !strings.Contains(err.Error(), "item ") {
+		t.Fatalf("error lacks item index: %v", err)
+	}
+}
+
+func TestMapSequentialFailFast(t *testing.T) {
+	calls := 0
+	_, err := Map(10, 1, func(i int) (int, error) {
+		calls++
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 4 {
+		t.Fatalf("sequential map ran %d items after error, want fail-fast at 4", calls)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in fn was swallowed")
+		}
+	}()
+	_, _ = Map(8, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(100, 8, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestShards(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {1, 4}, {5, 2}, {10, 3}, {10, 10}, {10, 99}, {1037, 8},
+	} {
+		shards := Shards(tc.n, tc.k)
+		if tc.n == 0 {
+			if shards != nil {
+				t.Fatalf("Shards(0,%d) = %v", tc.k, shards)
+			}
+			continue
+		}
+		if len(shards) > tc.k || len(shards) > tc.n {
+			t.Fatalf("Shards(%d,%d): %d shards", tc.n, tc.k, len(shards))
+		}
+		// Contiguous cover of [0,n) with near-equal sizes.
+		next, min, max := 0, tc.n, 0
+		for _, s := range shards {
+			if s.Lo != next || s.Hi <= s.Lo {
+				t.Fatalf("Shards(%d,%d): non-contiguous %v", tc.n, tc.k, shards)
+			}
+			next = s.Hi
+			if s.Len() < min {
+				min = s.Len()
+			}
+			if s.Len() > max {
+				max = s.Len()
+			}
+		}
+		if next != tc.n {
+			t.Fatalf("Shards(%d,%d) covers [0,%d)", tc.n, tc.k, next)
+		}
+		if max-min > 1 {
+			t.Fatalf("Shards(%d,%d): uneven sizes %d..%d", tc.n, tc.k, min, max)
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive requests to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers must pass explicit counts through")
+	}
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	var m Memo[string, int]
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				builds.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+}
+
+func TestMemoErrorCached(t *testing.T) {
+	var m Memo[int, int]
+	calls := 0
+	build := func() (int, error) { calls++; return 0, errors.New("nope") }
+	if _, err := m.Do(7, build); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := m.Do(7, build); err == nil {
+		t.Fatal("want memoized error")
+	}
+	if calls != 1 {
+		t.Fatalf("failed build retried: %d calls", calls)
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Map(64, 0, func(i int) (int, error) { return i, nil })
+	}
+}
