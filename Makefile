@@ -1,10 +1,21 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-compile golden
+.PHONY: ci vet staticcheck build test race bench bench-compile golden
 
 # ci is the gate: vet, build, race-enabled tests, and a one-iteration pass
-# over every benchmark as a compile-and-run check.
+# over every benchmark as a compile-and-run check. (CI additionally runs
+# staticcheck; see .github/workflows/ci.yml.)
 ci: vet build race bench-compile
+
+# staticcheck runs the linter when it is installed (CI installs it; local
+# boxes may not have it). Findings fail the target; only a missing binary
+# is skipped.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +38,7 @@ bench-compile:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# golden regenerates checked-in golden files (scenario batch output).
+# golden regenerates checked-in golden files (scenario batch output and the
+# NDJSON stream pinned against it).
 golden:
-	$(GO) test ./internal/scenario -run TestBatchGolden -update
+	$(GO) test ./internal/scenario -run 'TestBatchGolden|TestStreamGolden' -update

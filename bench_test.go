@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -75,7 +76,7 @@ func fixtures(b *testing.B) {
 func BenchmarkFig1Slices(b *testing.B) {
 	fixtures(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.Fig1(); err != nil {
+		if _, err := fixEnv.Fig1(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,7 +87,7 @@ func BenchmarkFig1Slices(b *testing.B) {
 func BenchmarkSchemeComparison(b *testing.B) {
 	fixtures(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.SchemeComparison(); err != nil {
+		if _, err := fixEnv.SchemeComparison(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func BenchmarkSchemeComparison(b *testing.B) {
 func BenchmarkKnobSensitivity(b *testing.B) {
 	fixtures(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.KnobSensitivity(); err != nil {
+		if _, err := fixEnv.KnobSensitivity(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,7 +110,7 @@ func BenchmarkL2SingleKnob(b *testing.B) {
 	warmMissMatrix(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.L2SizeSweep(false); err != nil {
+		if _, err := fixEnv.L2SizeSweep(context.Background(), false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -122,7 +123,7 @@ func BenchmarkL2SplitKnob(b *testing.B) {
 	warmMissMatrix(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.L2SizeSweep(true); err != nil {
+		if _, err := fixEnv.L2SizeSweep(context.Background(), true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,7 +135,7 @@ func BenchmarkL1Sweep(b *testing.B) {
 	warmMissMatrix(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.L1Sweep(); err != nil {
+		if _, err := fixEnv.L1Sweep(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func BenchmarkFig2Tuples(b *testing.B) {
 	warmMissMatrix(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.Fig2(); err != nil {
+		if _, err := fixEnv.Fig2(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkFig2Tuples(b *testing.B) {
 func BenchmarkVthOnlyBaseline(b *testing.B) {
 	fixtures(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := fixEnv.BaselineComparison(); err != nil {
+		if _, err := fixEnv.BaselineComparison(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,16 +9,19 @@
 //	cacheleak -size 16384 -curve 8
 //
 // With -curve N it prints the leakage/delay frontier at N budgets instead
-// of a single optimization.
+// of a single optimization. SIGINT/SIGTERM cancel a long search cleanly
+// (exit 130); -timeout bounds the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/cachecfg"
+	"repro/internal/cli"
 	"repro/internal/components"
 	"repro/internal/core"
 	"repro/internal/opt"
@@ -26,12 +29,14 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point: flags and IO come from the caller and
-// the exit status is returned instead of calling os.Exit.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point: context, flags and IO come from the
+// caller and the exit status is returned instead of calling os.Exit.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cacheleak", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -43,10 +48,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		delayPS = fs.Float64("delay-ps", 0, "delay budget in ps (overrides -frac)")
 		frac    = fs.Float64("frac", 0.5, "delay budget as a fraction of the feasible range")
 		curve   = fs.Int("curve", 0, "print a frontier of N budgets instead of one point")
+		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	cfg := cachecfg.Config{
 		Name:       "cache",
@@ -83,9 +91,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "feasible access times: %.0f .. %.0f ps\n", units.ToPS(lo), units.ToPS(hi))
 
 	if *curve > 0 {
+		frontier, err := d.TradeoffCurveCtx(ctx, sch, *curve)
+		if err != nil {
+			return cli.Report("cacheleak", err, cli.NewProgress("cacheleak", "budgets", nil), stderr)
+		}
 		fmt.Fprintf(stdout, "\n%v leakage/delay frontier:\n", sch)
 		fmt.Fprintf(stdout, "  %-12s %-14s %s\n", "budget(ps)", "leakage(mW)", "assignment")
-		for _, r := range d.TradeoffCurve(sch, *curve) {
+		for _, r := range frontier {
 			if !r.Feasible {
 				continue
 			}
@@ -98,7 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *delayPS > 0 {
 		budget = units.FromPS(*delayPS)
 	}
-	r := d.OptimizeLeakage(sch, budget)
+	r, err := d.OptimizeLeakageCtx(ctx, sch, budget)
+	if err != nil {
+		return cli.Report("cacheleak", err, cli.NewProgress("cacheleak", "budgets", nil), stderr)
+	}
 	if !r.Feasible {
 		fmt.Fprintf(stderr, "cacheleak: no assignment meets %.0f ps\n", units.ToPS(budget))
 		return 1

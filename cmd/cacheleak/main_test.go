@@ -8,7 +8,7 @@ import (
 
 func TestRunOptimize(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-size", "16384", "-scheme", "2", "-frac", "0.5"}, &stdout, &stderr)
+	code := run(t.Context(), []string{"-size", "16384", "-scheme", "2", "-frac", "0.5"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -22,7 +22,7 @@ func TestRunOptimize(t *testing.T) {
 
 func TestRunCurve(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-size", "16384", "-scheme", "3", "-curve", "4"}, &stdout, &stderr)
+	code := run(t.Context(), []string{"-size", "16384", "-scheme", "3", "-curve", "4"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -33,7 +33,7 @@ func TestRunCurve(t *testing.T) {
 
 func TestRunInfeasibleBudget(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-size", "16384", "-delay-ps", "1"}, &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), []string{"-size", "16384", "-delay-ps", "1"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("1ps budget: exit %d, want 1", code)
 	}
 	if !strings.Contains(stderr.String(), "no assignment meets") {
@@ -43,17 +43,17 @@ func TestRunInfeasibleBudget(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-size", "-5"}, &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), []string{"-size", "-5"}, &stdout, &stderr); code != 1 {
 		t.Errorf("negative size: exit %d, want 1", code)
 	}
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-scheme", "9"}, &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), []string{"-scheme", "9"}, &stdout, &stderr); code != 1 {
 		t.Errorf("bad scheme: exit %d, want 1", code)
 	}
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-wat"}, &stdout, &stderr); code != 2 {
+	if code := run(t.Context(), []string{"-wat"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }

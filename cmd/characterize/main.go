@@ -8,9 +8,14 @@
 //	characterize -size 16384                # fitted models + fit quality
 //	characterize -size 16384 -samples       # raw grid samples as CSV
 //	characterize -size 524288 -l2 -samples
+//	characterize -size 524288 -l2 -timeout 30s
+//
+// SIGINT/SIGTERM cancel the characterization between components (exit 130
+// with a partial-progress note); -timeout bounds the run the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/cachecfg"
 	"repro/internal/charlib"
+	"repro/internal/cli"
 	"repro/internal/components"
 	"repro/internal/core"
 	"repro/internal/model"
@@ -25,22 +31,28 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point: flags and IO come from the caller and
-// the exit status is returned instead of calling os.Exit.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point: context, flags and IO come from the
+// caller and the exit status is returned instead of calling os.Exit.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		size    = fs.Int("size", 16*1024, "cache capacity in bytes")
 		l2      = fs.Bool("l2", false, "use the canonical L2 organization instead of L1")
 		samples = fs.Bool("samples", false, "dump raw characterization samples as CSV")
+		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	prog := cli.NewProgress("characterize", "components", nil)
 
 	cfg := cachecfg.L1(*size)
 	if *l2 {
@@ -56,7 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	grid := charlib.DefaultGrid()
 	if *samples {
 		fmt.Fprintln(stdout, "component,vth_v,tox_a,leak_w,sub_w,gate_w,delay_s,energy_j")
-		for _, p := range components.Parts() {
+		for pi, p := range components.Parts() {
+			if err := ctx.Err(); err != nil {
+				prog.Hook()(pi, len(components.Parts()))
+				return cli.Report("characterize", err, prog, stderr)
+			}
 			ss, err := charlib.Characterize(cache.Part(p), grid)
 			if err != nil {
 				fmt.Fprintln(stderr, "characterize:", err)
@@ -71,7 +87,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "characterizing %v over %d grid points per component\n", cfg, grid.Points())
-	for _, p := range components.Parts() {
+	for pi, p := range components.Parts() {
+		if err := ctx.Err(); err != nil {
+			prog.Hook()(pi, len(components.Parts()))
+			return cli.Report("characterize", err, prog, stderr)
+		}
 		ss, err := charlib.Characterize(cache.Part(p), grid)
 		if err != nil {
 			fmt.Fprintln(stderr, "characterize:", err)

@@ -9,7 +9,7 @@ import (
 
 func TestRunFittedModels(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 0 {
+	if code := run(t.Context(), nil, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
@@ -22,7 +22,7 @@ func TestRunFittedModels(t *testing.T) {
 
 func TestRunSamplesCSV(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-samples"}, &stdout, &stderr); code != 0 {
+	if code := run(t.Context(), []string{"-samples"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	recs, err := csv.NewReader(strings.NewReader(stdout.String())).ReadAll()
@@ -40,7 +40,7 @@ func TestRunSamplesCSV(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+	if code := run(t.Context(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }

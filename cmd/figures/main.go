@@ -2,6 +2,12 @@
 // evaluation and writes them as ASCII (stdout) and CSV files. Experiments
 // fan out across the sweep engine; output is identical at any worker count.
 //
+// With -stream, artifacts are emitted as NDJSON (one {"id","ascii","csv"}
+// object per line, in registry order, written as each experiment
+// completes) instead of the buffered ASCII report. SIGINT/SIGTERM cancel
+// cleanly (partial-progress note on stderr, exit 130); -timeout bounds the
+// run the same way.
+//
 // Usage:
 //
 //	figures                 # full-scale run (1M accesses per workload)
@@ -11,9 +17,14 @@
 //	figures -only fig2      # compute and print a single artifact
 //	figures -list           # print artifact IDs without running anything
 //	figures -workers 1      # run experiments one at a time
+//	figures -quick -stream  # NDJSON artifact stream on stdout
+//	figures -progress       # per-experiment completion ticker on stderr
+//	figures -timeout 30m    # bound the whole run
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,30 +32,45 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point: flags and IO come from the caller and
-// the exit status is returned instead of calling os.Exit.
-func run(args []string, stdout, stderr io.Writer) int {
+// streamLine is the NDJSON shape of one artifact in -stream mode.
+type streamLine struct {
+	ID    string `json:"id"`
+	ASCII string `json:"ascii"`
+	CSV   string `json:"csv"`
+}
+
+// run is the testable entry point: context, flags and IO come from the
+// caller and the exit status is returned instead of calling os.Exit.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick   = fs.Bool("quick", false, "use shorter workload simulations")
-		outdir  = fs.String("outdir", "", "directory for CSV output (created if missing)")
-		plot    = fs.Bool("plot", false, "render coarse ASCII plots for figures")
-		only    = fs.String("only", "", "run only the artifact with this ID")
-		list    = fs.Bool("list", false, "list artifact IDs and exit")
-		ext     = fs.Bool("ext", false, "also run the extension/ablation experiments")
-		workers = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
+		quick    = fs.Bool("quick", false, "use shorter workload simulations")
+		outdir   = fs.String("outdir", "", "directory for CSV output (created if missing)")
+		plot     = fs.Bool("plot", false, "render coarse ASCII plots for figures")
+		only     = fs.String("only", "", "run only the artifact with this ID")
+		list     = fs.Bool("list", false, "list artifact IDs and exit")
+		ext      = fs.Bool("ext", false, "also run the extension/ablation experiments")
+		workers  = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
+		stream   = fs.Bool("stream", false, "emit artifacts as NDJSON, one line per experiment as it completes")
+		progress = fs.Bool("progress", false, "report per-experiment completion on stderr")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	exps := exp.Experiments()
 	if *list {
@@ -75,33 +101,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		env = exp.NewQuickEnv()
 	}
 	env.Workers = *workers
-
-	start := time.Now()
-	arts, err := env.RunExperiments(exps)
-	if err != nil {
-		fmt.Fprintln(stderr, "figures:", err)
-		return 1
+	var tickerW io.Writer
+	if *progress {
+		tickerW = stderr
 	}
+	prog := cli.NewProgress("figures", "experiments", tickerW)
+	env.Progress = prog.Hook()
+
 	// Skip the extension bundle when -only already matched a registry
 	// artifact: extensions are built all-or-nothing, and computing them
 	// just to filter their output away defeats -only's purpose.
 	if *ext && *only != "" && len(exps) > 0 {
 		*ext = false
 	}
-	if *ext {
-		extra, err := env.Extensions()
-		if err != nil {
-			fmt.Fprintln(stderr, "figures:", err)
-			return 1
-		}
-		arts = append(arts, extra...)
-	}
-
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			fmt.Fprintln(stderr, "figures:", err)
 			return 1
 		}
+	}
+
+	start := time.Now()
+	if *stream {
+		if *plot {
+			// ASCII plots have no NDJSON field; refuse rather than drop
+			// them silently.
+			fmt.Fprintln(stderr, "figures: -plot is not available with -stream (the ascii field carries the table form)")
+			return 2
+		}
+		return runStream(ctx, env, exps, streamOpts{outdir: *outdir, ext: *ext}, prog, stdout, stderr, start)
+	}
+
+	arts, err := env.RunExperimentsCtx(ctx, exps)
+	if err != nil {
+		return cli.Report("figures", err, prog, stderr)
+	}
+	if *ext {
+		extra, err := env.ExtensionsCtx(ctx)
+		if err != nil {
+			return cli.Report("figures", err, prog, stderr)
+		}
+		arts = append(arts, extra...)
 	}
 
 	printed := 0
@@ -128,5 +168,69 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "regenerated %d artifacts in %v\n", printed, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// streamOpts carries the display flags runStream honors alongside the
+// NDJSON lines.
+type streamOpts struct {
+	outdir string // also write one CSV per artifact, as in buffered mode
+	ext    bool   // stream the extension bundle after the registry
+}
+
+// runStream emits artifacts as NDJSON on stdout as they complete, keeping
+// stdout machine-consumable (the run summary goes to stderr). A write
+// error (e.g. a broken pipe) cancels the remaining experiments. With
+// so.ext the extension artifacts follow the registry stream, in bundle
+// order; with so.outdir each artifact's CSV is also written as it lands.
+func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so streamOpts, prog *cli.Progress, stdout, stderr io.Writer, start time.Time) int {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	enc := json.NewEncoder(stdout)
+	emitted := 0
+	var emitErr error
+	emit := func(a exp.Artifact) {
+		if emitErr != nil {
+			return
+		}
+		if emitErr = enc.Encode(streamLine{ID: a.ID, ASCII: a.Render(), CSV: a.CSV()}); emitErr != nil {
+			cancel()
+			return
+		}
+		emitted++
+		if so.outdir != "" {
+			path := filepath.Join(so.outdir, a.ID+".csv")
+			if emitErr = os.WriteFile(path, []byte(a.CSV()), 0o644); emitErr != nil {
+				cancel()
+			}
+		}
+	}
+
+	ch, wait := env.StreamExperiments(ctx, exps)
+	for a := range ch {
+		emit(a) // after an emit error this is the post-cancel drain
+	}
+	err := wait()
+	if emitErr != nil {
+		fmt.Fprintln(stderr, "figures:", emitErr)
+		return 1
+	}
+	if err != nil {
+		return cli.Report("figures", err, prog, stderr)
+	}
+	if so.ext {
+		extra, err := env.ExtensionsCtx(ctx)
+		if err != nil {
+			return cli.Report("figures", err, prog, stderr)
+		}
+		for _, a := range extra {
+			emit(a)
+		}
+		if emitErr != nil {
+			fmt.Fprintln(stderr, "figures:", emitErr)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "figures: streamed %d artifacts in %v\n", emitted, time.Since(start).Round(time.Millisecond))
 	return 0
 }

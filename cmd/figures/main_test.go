@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 func TestRunList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run(t.Context(), []string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	ids := strings.Fields(stdout.String())
@@ -33,7 +37,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunOnlyUnknownID(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-only", "fig99"}, &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), []string{"-only", "fig99"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("unknown ID: exit %d, want 1", code)
 	}
 	if !strings.Contains(stderr.String(), "fig99") {
@@ -43,8 +47,58 @@ func TestRunOnlyUnknownID(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+	if code := run(t.Context(), []string{"-nope"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunStreamSingleArtifact checks -stream emits valid NDJSON for the
+// cheapest registry artifact and keeps the run summary off stdout.
+func TestRunStreamSingleArtifact(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-quick", "-only", "tab-fit", "-stream"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 NDJSON line, got %d", len(lines))
+	}
+	var got streamLine
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("stream line is not JSON: %v\n%s", err, lines[0])
+	}
+	if got.ID != "tab-fit" || !strings.Contains(got.ASCII, "tab-fit") || got.CSV == "" {
+		t.Errorf("unexpected stream line: %+v", got)
+	}
+	if !strings.Contains(stderr.String(), "streamed 1 artifacts") {
+		t.Errorf("run summary missing from stderr: %q", stderr.String())
+	}
+}
+
+// TestRunCancelled checks a cancelled run exits 130 with a diagnostic.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-quick", "-only", "tab-fit"}, &stdout, &stderr)
+	if code != cli.ExitCancelled {
+		t.Fatalf("cancelled run: exit %d, want %d (stderr: %s)", code, cli.ExitCancelled, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Errorf("no cancellation diagnostic: %q", stderr.String())
+	}
+}
+
+// TestRunTimeout checks -timeout bounds the run with a non-zero exit.
+func TestRunTimeout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-timeout", "1ms"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("timed-out run: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "timed out") {
+		t.Errorf("no timeout diagnostic: %q", stderr.String())
 	}
 }
 
@@ -54,7 +108,7 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunSingleArtifact(t *testing.T) {
 	outdir := t.TempDir()
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-quick", "-only", "tab-fit", "-outdir", outdir}, &stdout, &stderr)
+	code := run(t.Context(), []string{"-quick", "-only", "tab-fit", "-outdir", outdir}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}

@@ -4,12 +4,21 @@
 //
 // The input is either a single scenario object or a batch — a top-level
 // "scenarios" array — which runs concurrently with per-scenario isolation
-// (see examples/scenarios.json).
+// (see examples/scenarios.json). With -stream, batch results are emitted
+// as NDJSON (one compact result object per line, in input order, written
+// as each scenario completes) instead of one buffered JSON document, so
+// arbitrarily large batches never accumulate in memory.
+//
+// SIGINT/SIGTERM cancel the run cleanly: in-flight scenarios stop
+// mid-simulation, a partial-progress note goes to stderr, and the process
+// exits 130. -timeout bounds the whole run the same way.
 //
 // Usage:
 //
 //	scenario -f study.json
 //	scenario -f examples/scenarios.json -workers 4
+//	scenario -f examples/scenarios.json -stream -progress
+//	scenario -f examples/scenarios.json -timeout 10m
 //	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
 //
 // Example config:
@@ -26,32 +35,56 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/cli"
 	"repro/internal/scenario"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-// run is the testable entry point: flags and IO come from the caller and
-// the exit status is returned instead of calling os.Exit.
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+// options are the scenario flags.
+type options struct {
+	file     string
+	workers  int
+	stream   bool
+	progress bool
+	timeout  time.Duration
+}
+
+func registerFlags(fs *flag.FlagSet, o *options) {
+	fs.StringVar(&o.file, "f", "", "scenario JSON file (default stdin)")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios in batch mode (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.stream, "stream", false, "emit batch results as NDJSON, one line per scenario as it completes")
+	fs.BoolVar(&o.progress, "progress", false, "report per-scenario completion on stderr")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
+}
+
+// run is the testable entry point: context, flags and IO come from the
+// caller and the exit status is returned instead of calling os.Exit.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	file := fs.String("f", "", "scenario JSON file (default stdin)")
-	workers := fs.Int("workers", 0, "concurrent scenarios in batch mode (0 = GOMAXPROCS)")
+	var o options
+	registerFlags(fs, &o)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
+	defer cancel()
 
 	var r io.Reader = stdin
-	if *file != "" {
-		f, err := os.Open(*file)
+	if o.file != "" {
+		f, err := os.Open(o.file)
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
@@ -65,39 +98,60 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var out string
+	var tickerW io.Writer
+	if o.progress {
+		tickerW = stderr
+	}
+	prog := cli.NewProgress("scenario", "scenarios", tickerW)
+
 	if scenario.IsBatch(data) {
 		b, err := scenario.LoadBatch(bytes.NewReader(data))
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
-		res, err := scenario.RunBatch(b, *workers)
+		opts := scenario.StreamOptions{Workers: o.workers, Progress: prog.Hook()}
+		if o.stream {
+			if err := scenario.StreamNDJSON(ctx, b, opts, stdout); err != nil {
+				return cli.Report("scenario", err, prog, stderr)
+			}
+			return 0
+		}
+		res, err := scenario.RunBatchCtx(ctx, b, o.workers)
+		if err != nil {
+			return cli.Report("scenario", err, prog, stderr)
+		}
+		out, err := res.Render()
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
-		out, err = res.Render()
+		fmt.Fprintln(stdout, out)
+		return 0
+	}
+
+	cfg, err := scenario.Load(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintln(stderr, "scenario:", err)
+		return 1
+	}
+	res, err := scenario.RunCtx(ctx, cfg)
+	if err != nil {
+		return cli.Report("scenario", err, prog, stderr)
+	}
+	if o.stream {
+		line, err := res.NDJSONLine()
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
-	} else {
-		cfg, err := scenario.Load(bytes.NewReader(data))
-		if err != nil {
-			fmt.Fprintln(stderr, "scenario:", err)
-			return 1
-		}
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			fmt.Fprintln(stderr, "scenario:", err)
-			return 1
-		}
-		out, err = res.Render()
-		if err != nil {
-			fmt.Fprintln(stderr, "scenario:", err)
-			return 1
-		}
+		fmt.Fprintf(stdout, "%s\n", line)
+		return 0
+	}
+	out, err := res.Render()
+	if err != nil {
+		fmt.Fprintln(stderr, "scenario:", err)
+		return 1
 	}
 	fmt.Fprintln(stdout, out)
 	return 0

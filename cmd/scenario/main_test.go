@@ -2,16 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 const tinyScenario = `{"name":"smoke","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":20000}`
 
 func TestRunSingleFromStdin(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run(nil, strings.NewReader(tinyScenario), &stdout, &stderr)
+	code := run(t.Context(), nil, strings.NewReader(tinyScenario), &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -32,7 +35,7 @@ func TestRunSingleFromStdin(t *testing.T) {
 func TestRunBatchFromStdin(t *testing.T) {
 	batch := `{"scenarios":[` + tinyScenario + `]}`
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-workers", "2"}, strings.NewReader(batch), &stdout, &stderr)
+	code := run(t.Context(), []string{"-workers", "2"}, strings.NewReader(batch), &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -49,9 +52,109 @@ func TestRunBatchFromStdin(t *testing.T) {
 	}
 }
 
+// TestRunStreamNDJSON checks -stream emits one valid NDJSON line per
+// scenario, in input order, with the same content as the buffered batch
+// document.
+func TestRunStreamNDJSON(t *testing.T) {
+	batch := `{"scenarios":[` + tinyScenario + `,{"name":"second","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":20000}]}`
+
+	var buffered bytes.Buffer
+	if code := run(t.Context(), nil, strings.NewReader(batch), &buffered, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("buffered run: exit %d", code)
+	}
+	var doc struct {
+		Scenarios []json.RawMessage `json:"scenarios"`
+	}
+	if err := json.Unmarshal(buffered.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream"}, strings.NewReader(batch), &stdout, &stderr); code != 0 {
+		t.Fatalf("stream run: exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d:\n%s", len(lines), stdout.String())
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d is not JSON: %q", i, line)
+		}
+		// Compact the buffered entry for a byte-level content comparison.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, doc.Scenarios[i]); err != nil {
+			t.Fatal(err)
+		}
+		if line != compact.String() {
+			t.Errorf("line %d differs from buffered result\n got: %s\nwant: %s", i, line, compact.String())
+		}
+	}
+}
+
+// TestRunStreamSingle checks -stream also works for a single scenario.
+func TestRunStreamSingle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream"}, strings.NewReader(tinyScenario), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := strings.TrimRight(stdout.String(), "\n")
+	if strings.Contains(out, "\n") || !json.Valid([]byte(out)) {
+		t.Fatalf("want one JSON line, got:\n%s", stdout.String())
+	}
+}
+
+// TestRunCancelled checks a cancelled run exits 130 with a partial-progress
+// diagnostic on stderr.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	batch := `{"scenarios":[` + tinyScenario + `]}`
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, nil, strings.NewReader(batch), &stdout, &stderr)
+	if code != cli.ExitCancelled {
+		t.Fatalf("cancelled run: exit %d, want %d (stderr: %s)", code, cli.ExitCancelled, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Errorf("no cancellation diagnostic: %q", stderr.String())
+	}
+}
+
+// TestRunTimeout checks an expired -timeout aborts with a non-zero exit
+// and a timeout diagnostic.
+func TestRunTimeout(t *testing.T) {
+	batch := `{"scenarios":[{"name":"slow","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":50000000}]}`
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-timeout", "50ms"}, strings.NewReader(batch), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("timed-out run: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "timed out") {
+		t.Errorf("no timeout diagnostic: %q", stderr.String())
+	}
+}
+
+// TestRunStreamProgress checks -stream -progress writes ticker lines to
+// stderr while keeping stdout pure NDJSON.
+func TestRunStreamProgress(t *testing.T) {
+	batch := `{"scenarios":[` + tinyScenario + `]}`
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-progress"}, strings.NewReader(batch), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "scenario: 1/1 scenarios") {
+		t.Errorf("progress ticker missing from stderr: %q", stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("stdout polluted by non-JSON line: %q", line)
+		}
+	}
+}
+
 func TestRunBadInput(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, strings.NewReader(`{"name":`), &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), nil, strings.NewReader(`{"name":`), &stdout, &stderr); code != 1 {
 		t.Errorf("malformed JSON: exit %d, want 1", code)
 	}
 	if !strings.Contains(stderr.String(), "scenario:") {
@@ -61,14 +164,14 @@ func TestRunBadInput(t *testing.T) {
 
 func TestRunMissingFile(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-f", "/nonexistent/x.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), []string{"-f", "/nonexistent/x.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
 		t.Errorf("missing file: exit %d, want 1", code)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-definitely-not-a-flag"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+	if code := run(t.Context(), []string{"-definitely-not-a-flag"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }

@@ -2,18 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 var lineRE = regexp.MustCompile(`^[RW] 0x[0-9a-f]+$`)
 
 func TestRunWritesTrace(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-suite", "tpcc", "-n", "50"}, &stdout, &stderr); code != 0 {
+	if code := run(t.Context(), []string{"-suite", "tpcc", "-n", "50"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
@@ -30,7 +33,7 @@ func TestRunWritesTrace(t *testing.T) {
 func TestRunDeterministicSeed(t *testing.T) {
 	gen := func() string {
 		var stdout, stderr bytes.Buffer
-		if code := run([]string{"-suite", "spec2000", "-n", "200", "-seed", "7"}, &stdout, &stderr); code != 0 {
+		if code := run(t.Context(), []string{"-suite", "spec2000", "-n", "200", "-seed", "7"}, &stdout, &stderr); code != 0 {
 			t.Fatalf("exit %d: %s", code, stderr.String())
 		}
 		return stdout.String()
@@ -43,7 +46,7 @@ func TestRunDeterministicSeed(t *testing.T) {
 func TestRunToFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.trace")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-n", "10", "-o", path}, &stdout, &stderr); code != 0 {
+	if code := run(t.Context(), []string{"-n", "10", "-o", path}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
 	data, err := os.ReadFile(path)
@@ -57,7 +60,7 @@ func TestRunToFile(t *testing.T) {
 
 func TestRunUnknownSuite(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-suite", "linpack"}, &stdout, &stderr); code != 1 {
+	if code := run(t.Context(), []string{"-suite", "linpack"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("unknown suite: exit %d, want 1", code)
 	}
 	if !strings.Contains(stderr.String(), "linpack") {
@@ -67,7 +70,25 @@ func TestRunUnknownSuite(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-zap"}, &stdout, &stderr); code != 2 {
+	if code := run(t.Context(), []string{"-zap"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunCancelled checks a cancelled generation exits 130 and leaves only
+// whole trace lines behind.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-suite", "tpcc", "-n", "100000"}, &stdout, &stderr)
+	if code != cli.ExitCancelled {
+		t.Fatalf("cancelled run: exit %d, want %d", code, cli.ExitCancelled)
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Errorf("no cancellation diagnostic: %q", stderr.String())
+	}
+	if out := stdout.String(); out != "" && !strings.HasSuffix(out, "\n") {
+		t.Errorf("partial trace line left unflushed: %q", out[len(out)-20:])
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,13 +34,13 @@ func fmtSet(vals []float64, f string) string {
 func main() {
 	env := exp.NewQuickEnv()
 
-	fig2, err := env.Fig2()
+	fig2, err := env.Fig2(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(fig2.Plot(72, 24))
 
-	summary, err := env.Fig2Summary()
+	summary, err := env.Fig2Summary(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

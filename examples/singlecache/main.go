@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ import (
 func main() {
 	env := exp.NewQuickEnv()
 
-	fig1, err := env.Fig1()
+	fig1, err := env.Fig1(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,19 +25,19 @@ func main() {
 	// gate-leakage floor.
 	fmt.Println(fig1.Plot(72, 24))
 
-	schemes, err := env.SchemeComparison()
+	schemes, err := env.SchemeComparison(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(schemes.ASCII())
 
-	asgn, err := env.SchemeAssignments()
+	asgn, err := env.SchemeAssignments(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(asgn.ASCII())
 
-	knob, err := env.KnobSensitivity()
+	knob, err := env.KnobSensitivity(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

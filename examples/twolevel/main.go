@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,25 +21,25 @@ import (
 func main() {
 	env := exp.NewQuickEnv()
 
-	missRates, err := env.MissRateTable()
+	missRates, err := env.MissRateTable(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(missRates.ASCII())
 
-	single, err := env.L2SizeSweep(false)
+	single, err := env.L2SizeSweep(context.Background(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(single.ASCII())
 
-	split, err := env.L2SizeSweep(true)
+	split, err := env.L2SizeSweep(context.Background(), true)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(split.ASCII())
 
-	l1, err := env.L1Sweep()
+	l1, err := env.L1Sweep(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,123 @@
+// Package cli holds the shared command-line plumbing of the repository's
+// binaries: signal-aware run contexts, the exit-status convention for
+// cancelled runs, and a serialized progress tracker for partial-progress
+// diagnostics. Every cmd/ main wires its run through SignalContext so
+// Ctrl-C and SIGTERM cancel long sweeps cleanly instead of killing the
+// process mid-write.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// ExitCancelled is the exit status of a run ended by SIGINT/SIGTERM,
+// following the shell convention of 128 + SIGINT(2).
+const ExitCancelled = 130
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM — the
+// root context of every cmd/ binary. The returned stop func releases the
+// signal registration (restoring default die-on-signal behavior for a
+// second Ctrl-C).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// WithTimeout bounds ctx by the -timeout flag value: 0 means unbounded
+// (ctx is returned with a no-op cancel), matching every binary's flag
+// default, so call sites stay one line.
+func WithTimeout(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// Cancelled reports whether err ends a run because its context was
+// cancelled (signal), as opposed to a failure or a timeout.
+func Cancelled(err error) bool { return errors.Is(err, context.Canceled) }
+
+// TimedOut reports whether err ends a run because the -timeout deadline
+// passed.
+func TimedOut(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+
+// ExitCode maps a fatal run error to the exit status: ExitCancelled for
+// signal cancellation, 1 for everything else (including timeouts).
+func ExitCode(err error) int {
+	if Cancelled(err) {
+		return ExitCancelled
+	}
+	return 1
+}
+
+// Progress tracks fan-out completion for a command: it serializes
+// concurrent hook calls, optionally echoes a ticker line per completion,
+// and renders a partial-progress note for cancellation diagnostics.
+type Progress struct {
+	mu          sync.Mutex
+	w           io.Writer // nil = track silently
+	label, unit string
+	done, total int
+}
+
+// NewProgress returns a tracker that prints "label: done/total unit" to w
+// after each completed item, or tracks silently when w is nil.
+func NewProgress(label, unit string, w io.Writer) *Progress {
+	return &Progress{w: w, label: label, unit: unit}
+}
+
+// Hook returns the sweep.Progress callback feeding this tracker. The
+// callback is safe to invoke from concurrent workers.
+func (p *Progress) Hook() sweep.Progress {
+	return func(done, total int) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if done > p.done {
+			p.done = done
+		}
+		p.total = total
+		if p.w != nil {
+			fmt.Fprintf(p.w, "%s: %d/%d %s\n", p.label, done, total, p.unit)
+		}
+	}
+}
+
+// Note renders the partial-progress state ("3/12 experiments") for
+// cancellation messages, or "" when no completion was ever observed.
+func (p *Progress) Note() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d %s", p.done, p.total, p.unit)
+}
+
+// Report writes the standard diagnostics for a fatal run error — the error
+// itself, a timeout note, and the partial-progress state — and returns the
+// exit status. name is the binary's diagnostic prefix.
+func Report(name string, err error, p *Progress, stderr io.Writer) int {
+	fmt.Fprintf(stderr, "%s: %v\n", name, err)
+	switch {
+	case TimedOut(err):
+		fmt.Fprintf(stderr, "%s: timed out", name)
+	case Cancelled(err):
+		fmt.Fprintf(stderr, "%s: cancelled", name)
+	default:
+		return 1
+	}
+	if note := p.Note(); note != "" {
+		fmt.Fprintf(stderr, " after %s", note)
+	}
+	fmt.Fprintln(stderr)
+	return ExitCode(err)
+}

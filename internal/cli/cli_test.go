@@ -1,0 +1,123 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	if c := ExitCode(context.Canceled); c != ExitCancelled {
+		t.Errorf("cancelled run: exit %d, want %d", c, ExitCancelled)
+	}
+	if c := ExitCode(context.DeadlineExceeded); c != 1 {
+		t.Errorf("timed-out run: exit %d, want 1", c)
+	}
+	if c := ExitCode(errors.New("boom")); c != 1 {
+		t.Errorf("failed run: exit %d, want 1", c)
+	}
+	// Joined errors (the sweep engine's shape) keep their classification.
+	joined := errors.Join(errors.New("sweep: item 3: x"), context.Canceled)
+	if !Cancelled(joined) || ExitCode(joined) != ExitCancelled {
+		t.Errorf("joined cancellation not recognized: %v", joined)
+	}
+}
+
+func TestWithTimeoutExpires(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if !TimedOut(ctx.Err()) {
+		t.Fatalf("want DeadlineExceeded, got %v", ctx.Err())
+	}
+}
+
+func TestWithTimeoutZeroIsUnbounded(t *testing.T) {
+	base := context.Background()
+	ctx, cancel := WithTimeout(base, 0)
+	defer cancel()
+	if ctx != base {
+		t.Fatal("zero timeout must return the parent context unchanged")
+	}
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout must not set a deadline")
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext()
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already done: %v", ctx.Err())
+	}
+	stop()
+}
+
+func TestProgressTicker(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress("figures", "experiments", &buf)
+	hook := p.Hook()
+	hook(1, 3)
+	hook(2, 3)
+	out := buf.String()
+	if !strings.Contains(out, "figures: 1/3 experiments") || !strings.Contains(out, "figures: 2/3 experiments") {
+		t.Fatalf("ticker lines missing:\n%s", out)
+	}
+	if p.Note() != "2/3 experiments" {
+		t.Fatalf("note = %q", p.Note())
+	}
+}
+
+func TestProgressConcurrentHook(t *testing.T) {
+	p := NewProgress("x", "items", nil)
+	hook := p.Hook()
+	var wg sync.WaitGroup
+	for i := 1; i <= 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hook(i, 50)
+		}(i)
+	}
+	wg.Wait()
+	if p.Note() != "50/50 items" {
+		t.Fatalf("note = %q, want 50/50 items", p.Note())
+	}
+}
+
+func TestProgressNoteEmptyBeforeWork(t *testing.T) {
+	p := NewProgress("x", "items", nil)
+	if p.Note() != "" {
+		t.Fatalf("note = %q before any completion", p.Note())
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := NewProgress("scenario", "scenarios", nil)
+	p.Hook()(2, 5)
+	var buf bytes.Buffer
+	if code := Report("scenario", context.Canceled, p, &buf); code != ExitCancelled {
+		t.Fatalf("exit %d, want %d", code, ExitCancelled)
+	}
+	if !strings.Contains(buf.String(), "cancelled after 2/5 scenarios") {
+		t.Fatalf("missing partial-progress note:\n%s", buf.String())
+	}
+	buf.Reset()
+	if code := Report("scenario", errors.New("boom"), p, &buf); code != 1 {
+		t.Fatalf("plain failure: exit %d, want 1", code)
+	}
+	buf.Reset()
+	if code := Report("scenario", context.DeadlineExceeded, p, &buf); code != 1 {
+		t.Fatalf("timeout: exit %d, want 1", code)
+	}
+	if !strings.Contains(buf.String(), "timed out after 2/5 scenarios") {
+		t.Fatalf("missing timeout note:\n%s", buf.String())
+	}
+}

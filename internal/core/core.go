@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachecfg"
@@ -95,6 +96,11 @@ func (d *CacheDesign) OptimizeLeakage(scheme opt.Scheme, delayBudget float64) op
 	return opt.Optimize(scheme, d.Model, KnobGrid(), delayBudget)
 }
 
+// OptimizeLeakageCtx is OptimizeLeakage with cancellation.
+func (d *CacheDesign) OptimizeLeakageCtx(ctx context.Context, scheme opt.Scheme, delayBudget float64) (opt.Result, error) {
+	return opt.OptimizeCtx(ctx, scheme, d.Model, KnobGrid(), delayBudget)
+}
+
 // DelayRange returns the achievable [fastest, slowest] access times over
 // uniform assignments — the span of useful delay budgets.
 func (d *CacheDesign) DelayRange() (lo, hi float64) {
@@ -105,8 +111,14 @@ func (d *CacheDesign) DelayRange() (lo, hi float64) {
 // returns the optimized leakage at each — the scheme's leakage/delay
 // frontier.
 func (d *CacheDesign) TradeoffCurve(scheme opt.Scheme, n int) []opt.Result {
+	out, _ := d.TradeoffCurveCtx(context.Background(), scheme, n)
+	return out
+}
+
+// TradeoffCurveCtx is TradeoffCurve with cancellation.
+func (d *CacheDesign) TradeoffCurveCtx(ctx context.Context, scheme opt.Scheme, n int) ([]opt.Result, error) {
 	lo, hi := d.DelayRange()
-	return opt.Frontier(scheme, d.Model, KnobGrid(), units.Linspace(lo, hi, n))
+	return opt.FrontierCtx(ctx, scheme, d.Model, KnobGrid(), units.Linspace(lo, hi, n))
 }
 
 // HierarchyDesign is a two-level cache system plus main memory under a

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sweep"
 )
@@ -36,16 +38,18 @@ func (a Artifact) CSV() string {
 }
 
 // Experiment is one entry of the evaluation: a stable artifact ID and the
-// builder that regenerates it from an environment.
+// builder that regenerates it from an environment. Builders honor the
+// context: cancellation aborts their internal sweeps.
 type Experiment struct {
 	ID  string
-	Run func(*Env) (Artifact, error)
+	Run func(context.Context, *Env) (Artifact, error)
 }
 
-// figExp wraps a figure builder as an Experiment.
-func figExp(id string, f func(*Env) (Figure, error)) Experiment {
-	return Experiment{ID: id, Run: func(e *Env) (Artifact, error) {
-		fig, err := f(e)
+// figExp wraps a figure builder (as a method expression, receiver first) as
+// an Experiment.
+func figExp(id string, f func(*Env, context.Context) (Figure, error)) Experiment {
+	return Experiment{ID: id, Run: func(ctx context.Context, e *Env) (Artifact, error) {
+		fig, err := f(e, ctx)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -54,9 +58,9 @@ func figExp(id string, f func(*Env) (Figure, error)) Experiment {
 }
 
 // tabExp wraps a table builder as an Experiment.
-func tabExp(id string, f func(*Env) (Table, error)) Experiment {
-	return Experiment{ID: id, Run: func(e *Env) (Artifact, error) {
-		tab, err := f(e)
+func tabExp(id string, f func(*Env, context.Context) (Table, error)) Experiment {
+	return Experiment{ID: id, Run: func(ctx context.Context, e *Env) (Artifact, error) {
+		tab, err := f(e, ctx)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -74,8 +78,8 @@ func Experiments() []Experiment {
 		tabExp("tab-assignments", (*Env).SchemeAssignments),
 		tabExp("tab-knob", (*Env).KnobSensitivity),
 		tabExp("tab-missrates", (*Env).MissRateTable),
-		tabExp("tab-l2-single", func(e *Env) (Table, error) { return e.L2SizeSweep(false) }),
-		tabExp("tab-l2-split", func(e *Env) (Table, error) { return e.L2SizeSweep(true) }),
+		tabExp("tab-l2-single", func(e *Env, ctx context.Context) (Table, error) { return e.L2SizeSweep(ctx, false) }),
+		tabExp("tab-l2-split", func(e *Env, ctx context.Context) (Table, error) { return e.L2SizeSweep(ctx, true) }),
 		tabExp("tab-l1", (*Env).L1Sweep),
 		figExp("fig2", (*Env).Fig2),
 		tabExp("tab-fig2-summary", (*Env).Fig2Summary),
@@ -84,21 +88,58 @@ func Experiments() []Experiment {
 	}
 }
 
-// All runs every experiment in the paper's order and returns the artifacts.
-// Experiments fan out across e.Workers workers (the shared substrates are
-// singleflight-memoized, so each model and miss matrix is still built
-// once); artifacts are collected in registry order, so the output is
-// byte-identical to a sequential run. An error in any experiment aborts
-// the run: partial evaluations are worse than loud failures in a
-// reproduction.
+// All runs every experiment in the paper's order and returns the artifacts;
+// it is AllCtx without cancellation.
 func (e *Env) All() ([]Artifact, error) {
-	return e.RunExperiments(Experiments())
+	return e.AllCtx(context.Background())
 }
 
-// RunExperiments runs a subset of the registry, preserving input order.
+// AllCtx runs every experiment in the paper's order and returns the
+// artifacts. Experiments fan out across e.Workers workers (the shared
+// substrates are singleflight-memoized, so each model and miss matrix is
+// still built once); artifacts are collected in registry order, so the
+// output is byte-identical to a sequential run. An error in any experiment
+// aborts the run: partial evaluations are worse than loud failures in a
+// reproduction. Cancelling ctx stops scheduling experiments and aborts the
+// sweeps inside running ones.
+func (e *Env) AllCtx(ctx context.Context) ([]Artifact, error) {
+	return e.RunExperimentsCtx(ctx, Experiments())
+}
+
+// RunExperiments runs a subset of the registry, preserving input order; it
+// is RunExperimentsCtx without cancellation.
 func (e *Env) RunExperiments(exps []Experiment) ([]Artifact, error) {
-	return sweep.Map(len(exps), e.workers(), func(i int) (Artifact, error) {
-		a, err := exps[i].Run(e)
+	return e.RunExperimentsCtx(context.Background(), exps)
+}
+
+// RunExperimentsCtx runs a subset of the registry, preserving input order
+// and reporting completions to e.Progress.
+func (e *Env) RunExperimentsCtx(ctx context.Context, exps []Experiment) ([]Artifact, error) {
+	var done atomic.Int64
+	return sweep.MapCtx(ctx, len(exps), e.workers(), func(ctx context.Context, i int) (Artifact, error) {
+		a, err := exps[i].Run(ctx, e)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("exp: %s: %w", exps[i].ID, err)
+		}
+		if e.Progress != nil {
+			e.Progress(int(done.Add(1)), len(exps))
+		}
+		return a, nil
+	})
+}
+
+// StreamExperiments runs a subset of the registry and delivers artifacts
+// over the returned channel in registry order as they complete, with
+// bounded buffering — the streaming complement to RunExperimentsCtx for
+// emitting results before the whole evaluation finishes. Drain the channel,
+// then call wait for the verdict. Progress (e.Progress) is reported once
+// per emitted artifact, serialized.
+func (e *Env) StreamExperiments(ctx context.Context, exps []Experiment) (<-chan Artifact, func() error) {
+	return sweep.Stream(ctx, len(exps), sweep.StreamConfig{
+		Workers:  e.workers(),
+		Progress: e.Progress,
+	}, func(ctx context.Context, i int) (Artifact, error) {
+		a, err := exps[i].Run(ctx, e)
 		if err != nil {
 			return Artifact{}, fmt.Errorf("exp: %s: %w", exps[i].ID, err)
 		}

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachecfg"
@@ -44,6 +45,11 @@ type Env struct {
 	// GOMAXPROCS — cap that instead to bound total parallelism. Output is
 	// identical at any setting.
 	Workers int
+	// Progress, when non-nil, observes top-level experiment completion:
+	// it is called once per finished experiment with (done, total). Calls
+	// may arrive concurrently from worker goroutines during
+	// RunExperimentsCtx; StreamExperiments serializes them.
+	Progress sweep.Progress
 
 	caches   sweep.Memo[string, *components.Cache]
 	models   sweep.Memo[string, *model.CacheModel]
@@ -100,16 +106,28 @@ func (e *Env) Model(cfg cachecfg.Config) (*model.CacheModel, error) {
 // SuiteMatrices returns the per-workload miss matrices over the canonical
 // L1/L2 design spaces, simulating on first use.
 func (e *Env) SuiteMatrices() ([]*sim.MissMatrix, error) {
+	return e.SuiteMatricesCtx(context.Background())
+}
+
+// SuiteMatricesCtx is SuiteMatrices with cancellation: a cancelled build
+// aborts mid-simulation and is not cached, so a later uncancelled caller
+// rebuilds.
+func (e *Env) SuiteMatricesCtx(ctx context.Context) ([]*sim.MissMatrix, error) {
 	return e.matrices.Do(struct{}{}, func() ([]*sim.MissMatrix, error) {
-		return sim.BuildSuiteMatrices(trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
+		return sim.BuildSuiteMatricesCtx(ctx, trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
 	})
 }
 
 // MissMatrix returns the equal-weight average of the suite matrices — the
 // aggregate statistics the paper's Section 5 experiments consume.
 func (e *Env) MissMatrix() (*sim.MissMatrix, error) {
+	return e.MissMatrixCtx(context.Background())
+}
+
+// MissMatrixCtx is MissMatrix with cancellation.
+func (e *Env) MissMatrixCtx(ctx context.Context) (*sim.MissMatrix, error) {
 	return e.average.Do(struct{}{}, func() (*sim.MissMatrix, error) {
-		ms, err := e.SuiteMatrices()
+		ms, err := e.SuiteMatricesCtx(ctx)
 		if err != nil {
 			return nil, err
 		}

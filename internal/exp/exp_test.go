@@ -59,7 +59,7 @@ func minOf(xs []float64) float64 {
 }
 
 func TestFig1ReproducesPaperShapes(t *testing.T) {
-	fig, err := env(t).Fig1()
+	fig, err := env(t).Fig1(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestFig1ReproducesPaperShapes(t *testing.T) {
 }
 
 func TestSchemeComparisonOrdering(t *testing.T) {
-	tab, err := env(t).SchemeComparison()
+	tab, err := env(t).SchemeComparison(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestSchemeComparisonOrdering(t *testing.T) {
 }
 
 func TestSchemeAssignmentsStructure(t *testing.T) {
-	tab, err := env(t).SchemeAssignments()
+	tab, err := env(t).SchemeAssignments(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestSchemeAssignmentsStructure(t *testing.T) {
 }
 
 func TestKnobSensitivityTable(t *testing.T) {
-	tab, err := env(t).KnobSensitivity()
+	tab, err := env(t).KnobSensitivity(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestKnobSensitivityTable(t *testing.T) {
 }
 
 func TestMissRateTable(t *testing.T) {
-	tab, err := env(t).MissRateTable()
+	tab, err := env(t).MissRateTable(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func argmin(xs []float64) int {
 }
 
 func TestL2SingleSweepShape(t *testing.T) {
-	tab, err := env(t).L2SizeSweep(false)
+	tab, err := env(t).L2SizeSweep(t.Context(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestL2SingleSweepShape(t *testing.T) {
 }
 
 func TestL2SplitSweepShape(t *testing.T) {
-	tab, err := env(t).L2SizeSweep(true)
+	tab, err := env(t).L2SizeSweep(t.Context(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestSplitBeatsGrowingTheL2(t *testing.T) {
 	// knobs inside the L2 never hurts, strictly helps somewhere, and shifts
 	// the optimal L2 size down (smaller L2 + aggressive periphery instead
 	// of growing the cache).
-	single, split, err := env(t).L2SweepAtMargin(1.03)
+	single, split, err := env(t).L2SweepAtMargin(t.Context(), 1.03)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,11 +335,11 @@ func TestSplitShiftsOptimumSmaller(t *testing.T) {
 	// split experiment's optimal L2 size must be no larger than the single
 	// experiment's (paper's abstract: with split pairs, "smaller L2's will
 	// yield less total leakage").
-	singleTab, err := env(t).L2SizeSweep(false)
+	singleTab, err := env(t).L2SizeSweep(t.Context(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	splitTab, err := env(t).L2SizeSweep(true)
+	splitTab, err := env(t).L2SizeSweep(t.Context(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestSplitShiftsOptimumSmaller(t *testing.T) {
 }
 
 func TestL1SweepSmallIsBest(t *testing.T) {
-	tab, err := env(t).L1Sweep()
+	tab, err := env(t).L1Sweep(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +375,7 @@ func TestL1SweepSmallIsBest(t *testing.T) {
 }
 
 func TestFig2ReproducesPaperOrdering(t *testing.T) {
-	fig, err := env(t).Fig2()
+	fig, err := env(t).Fig2(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +432,7 @@ func TestFig2ReproducesPaperOrdering(t *testing.T) {
 }
 
 func TestFig2SummaryRenders(t *testing.T) {
-	tab, err := env(t).Fig2Summary()
+	tab, err := env(t).Fig2Summary(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func TestFig2SummaryRenders(t *testing.T) {
 }
 
 func TestBaselineDominance(t *testing.T) {
-	tab, err := env(t).BaselineComparison()
+	tab, err := env(t).BaselineComparison(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +466,7 @@ func TestBaselineDominance(t *testing.T) {
 }
 
 func TestFitQualityGate(t *testing.T) {
-	tab, err := env(t).FitQuality()
+	tab, err := env(t).FitQuality(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachecfg"
@@ -23,7 +24,7 @@ import (
 // fitted analytical models (the paper's approach) instead of the raw
 // transistor-level netlists: for each delay budget it optimizes both ways
 // and evaluates *both* winners on the netlists.
-func (e *Env) ModelVsDirectAblation() (Table, error) {
+func (e *Env) ModelVsDirectAblation(ctx context.Context) (Table, error) {
 	cache, err := e.Cache(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -50,8 +51,14 @@ func (e *Env) ModelVsDirectAblation() (Table, error) {
 	}
 	for _, frac := range []float64{0.35, 0.55, 0.75} {
 		budget := lo + frac*(hi-lo)
-		rm := opt.OptimizeSchemeII(m, ops, budget)
-		rd := opt.OptimizeSchemeII(dir, ops, budget)
+		rm, err := opt.OptimizeSchemeIICtx(ctx, m, ops, budget)
+		if err != nil {
+			return Table{}, err
+		}
+		rd, err := opt.OptimizeSchemeIICtx(ctx, dir, ops, budget)
+		if err != nil {
+			return Table{}, err
+		}
 		if !rm.Feasible || !rd.Feasible {
 			continue
 		}
@@ -71,7 +78,7 @@ func (e *Env) ModelVsDirectAblation() (Table, error) {
 // DelayCompositionAblation compares the paper's delay-summation assumption
 // against an overlapped composition where address flight and row decode
 // proceed concurrently.
-func (e *Env) DelayCompositionAblation() (Table, error) {
+func (e *Env) DelayCompositionAblation(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "tab-ablation-delay",
 		Title:   "Ablation: delay summation (paper) vs overlapped address/decode",
@@ -102,7 +109,7 @@ func (e *Env) DelayCompositionAblation() (Table, error) {
 // DrowsyExtension evaluates the related-work dynamic technique (drowsy
 // cells, [6]) against and combined with the paper's static knob
 // optimization, on the 16 KB cache at a mid delay budget.
-func (e *Env) DrowsyExtension() (Table, error) {
+func (e *Env) DrowsyExtension(ctx context.Context) (Table, error) {
 	cache, err := e.Cache(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -115,7 +122,10 @@ func (e *Env) DrowsyExtension() (Table, error) {
 	ops := opt.PairsFromGrid(g.Vths, g.ToxAs)
 	lo, hi := opt.FeasibleDelayRange(m, ops)
 	budget := lo + 0.55*(hi-lo)
-	r := opt.OptimizeSchemeII(m, ops, budget)
+	r, err := opt.OptimizeSchemeIICtx(ctx, m, ops, budget)
+	if err != nil {
+		return Table{}, err
+	}
 	if !r.Feasible {
 		return Table{}, fmt.Errorf("exp: drowsy study budget infeasible")
 	}
@@ -165,7 +175,7 @@ func (e *Env) DrowsyExtension() (Table, error) {
 // TemperatureSensitivity shows how the optimized leakage moves with die
 // temperature — subthreshold conduction is exponential in T, gate
 // tunnelling nearly athermal, so the optimum knob balance shifts.
-func (e *Env) TemperatureSensitivity() (Table, error) {
+func (e *Env) TemperatureSensitivity(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "tab-ext-temp",
 		Title:   "Extension: temperature sensitivity of the optimized 16KB cache",
@@ -176,6 +186,9 @@ func (e *Env) TemperatureSensitivity() (Table, error) {
 		},
 	}
 	for _, tempK := range []float64{300, 330, 358, 390} {
+		if err := ctx.Err(); err != nil {
+			return Table{}, err
+		}
 		tech := device.Default65nm()
 		tech.TempK = tempK
 		cache, err := components.New(tech, fig1Cache())
@@ -188,7 +201,10 @@ func (e *Env) TemperatureSensitivity() (Table, error) {
 		dir := opt.Direct{Cache: cache}
 		ops := opt.PairsFromGrid(units.GridSteps(0.20, 0.50, 0.025), units.GridSteps(10, 14, 0.5))
 		lo, hi := opt.FeasibleDelayRange(dir, ops)
-		r := opt.OptimizeSchemeII(dir, ops, lo+0.55*(hi-lo))
+		r, err := opt.OptimizeSchemeIICtx(ctx, dir, ops, lo+0.55*(hi-lo))
+		if err != nil {
+			return Table{}, err
+		}
 		optLeak := "infeasible"
 		if r.Feasible {
 			optLeak = fmt.Sprintf("%.4f", units.ToMW(r.LeakageW))
@@ -206,7 +222,7 @@ func (e *Env) TemperatureSensitivity() (Table, error) {
 // NodeComparison contrasts the 65 nm node with the 45 nm projection,
 // substantiating the introduction's claim that leakage overtakes dynamic
 // power in future generations.
-func (e *Env) NodeComparison() (Table, error) {
+func (e *Env) NodeComparison(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "tab-ext-node",
 		Title:   "Extension: 65nm vs projected 45nm (16KB cache, fast knobs)",
@@ -238,7 +254,7 @@ func (e *Env) NodeComparison() (Table, error) {
 
 // ReplacementAblation reports how the simulator's replacement policy moves
 // the architectural inputs (miss rates) the optimization consumes.
-func (e *Env) ReplacementAblation() (Table, error) {
+func (e *Env) ReplacementAblation(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "tab-ablation-repl",
 		Title:   "Ablation: replacement policy vs L1 miss rate (16KB, spec2000-like)",
@@ -247,6 +263,9 @@ func (e *Env) ReplacementAblation() (Table, error) {
 	}
 	p := trace.SPEC2000(e.Seed)
 	for _, pol := range []sim.ReplPolicy{sim.LRU, sim.FIFO, sim.Random} {
+		if err := ctx.Err(); err != nil {
+			return Table{}, err
+		}
 		gen, err := trace.New(p)
 		if err != nil {
 			return Table{}, err
@@ -267,7 +286,7 @@ func (e *Env) ReplacementAblation() (Table, error) {
 
 // AreaTable reports the Section 2 cost of thick oxide: cell and macro area
 // growth across the Tox range.
-func (e *Env) AreaTable() (Table, error) {
+func (e *Env) AreaTable(ctx context.Context) (Table, error) {
 	cache, err := e.Cache(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -299,8 +318,8 @@ func (e *Env) AreaTable() (Table, error) {
 // levels, translating cache leakage choices into whole-program energy —
 // the "entire processor memory system" framing of Section 5 taken one step
 // further.
-func (e *Env) SystemEnergyPerInstruction() (Table, error) {
-	tl, err := e.twoLevelFor(16*cachecfg.KB, 512*cachecfg.KB)
+func (e *Env) SystemEnergyPerInstruction(ctx context.Context) (Table, error) {
+	tl, err := e.twoLevelFor(ctx, 16*cachecfg.KB, 512*cachecfg.KB)
 	if err != nil {
 		return Table{}, err
 	}
@@ -337,54 +356,48 @@ func (e *Env) SystemEnergyPerInstruction() (Table, error) {
 	return t, nil
 }
 
-// Extensions runs every extension/ablation experiment.
+// Extensions runs every extension/ablation experiment; it is
+// ExtensionsCtx without cancellation.
 func (e *Env) Extensions() ([]Artifact, error) {
+	return e.ExtensionsCtx(context.Background())
+}
+
+// ExtensionsCtx runs every extension/ablation experiment in order,
+// checking the context between entries.
+func (e *Env) ExtensionsCtx(ctx context.Context) ([]Artifact, error) {
 	var out []Artifact
-	addT := func(t Table, err error) error {
+	for _, entry := range []struct {
+		id    string // named here because a failed builder returns Table{}
+		build func(context.Context) (Table, error)
+	}{
+		{"tab-ablation-model", e.ModelVsDirectAblation},
+		{"tab-ablation-delay", e.DelayCompositionAblation},
+		{"tab-ext-drowsy", e.DrowsyExtension},
+		{"tab-ext-temp", e.TemperatureSensitivity},
+		{"tab-ext-node", e.NodeComparison},
+		{"tab-ablation-repl", e.ReplacementAblation},
+		{"tab-ext-area", e.AreaTable},
+		{"tab-ext-cpi", e.SystemEnergyPerInstruction},
+		{"tab-ext-joint", e.JointOptimization},
+		{"tab-ext-mem", e.MemorySensitivity},
+	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t, err := entry.build(ctx)
 		if err != nil {
-			return fmt.Errorf("exp: %s: %w", t.ID, err)
+			return nil, fmt.Errorf("exp: %s: %w", entry.id, err)
 		}
 		tc := t
 		out = append(out, Artifact{ID: t.ID, Table: &tc})
-		return nil
-	}
-	if err := addT(e.ModelVsDirectAblation()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.DelayCompositionAblation()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.DrowsyExtension()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.TemperatureSensitivity()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.NodeComparison()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.ReplacementAblation()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.AreaTable()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.SystemEnergyPerInstruction()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.JointOptimization()); err != nil {
-		return nil, err
-	}
-	if err := addT(e.MemorySensitivity()); err != nil {
-		return nil, err
 	}
 	return out, nil
 }
 
 // JointOptimization compares the paper's one-level-at-a-time optimization
 // against freeing both levels' knobs simultaneously (coordinate descent).
-func (e *Env) JointOptimization() (Table, error) {
-	tl, err := e.twoLevelFor(16*cachecfg.KB, 512*cachecfg.KB)
+func (e *Env) JointOptimization(ctx context.Context) (Table, error) {
+	tl, err := e.twoLevelFor(ctx, 16*cachecfg.KB, 512*cachecfg.KB)
 	if err != nil {
 		return Table{}, err
 	}
@@ -404,8 +417,14 @@ func (e *Env) JointOptimization() (Table, error) {
 	}
 	for _, frac := range []float64{0.3, 0.5, 0.7} {
 		target := fast + frac*(slow-fast)
-		pinned := tl.OptimizeL2(opt.SchemeII, components.Uniform(opt.DefaultOP()), ops, target)
-		joint := opt.OptimizeJoint(tl, opt.SchemeII, ops, target, 0)
+		pinned, err := tl.OptimizeL2Ctx(ctx, opt.SchemeII, components.Uniform(opt.DefaultOP()), ops, target)
+		if err != nil {
+			return Table{}, err
+		}
+		joint, err := opt.OptimizeJointCtx(ctx, tl, opt.SchemeII, ops, target, 0)
+		if err != nil {
+			return Table{}, err
+		}
 		pinnedStr, gain := "infeasible", "-"
 		if pinned.Feasible {
 			pinnedStr = fmt.Sprintf("%.3f", units.ToMW(pinned.LeakageW))
@@ -425,7 +444,7 @@ func (e *Env) JointOptimization() (Table, error) {
 // MemorySensitivity reruns the Figure 2 headline comparison with a faster
 // main memory, checking that the paper's tuple conclusions are not an
 // artifact of one DRAM operating point.
-func (e *Env) MemorySensitivity() (Table, error) {
+func (e *Env) MemorySensitivity(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "tab-ext-mem",
 		Title:   "Extension: tuple-budget ordering vs main-memory speed",
@@ -434,7 +453,7 @@ func (e *Env) MemorySensitivity() (Table, error) {
 			"the (1 Tox, 2 Vth) <= (2 Tox, 1 Vth) ordering must survive memory-speed changes",
 		},
 	}
-	base, err := e.fig2System()
+	base, err := e.fig2System(ctx)
 	if err != nil {
 		return Table{}, err
 	}
@@ -448,9 +467,18 @@ func (e *Env) MemorySensitivity() (Table, error) {
 			slowSA[i] = device.OP(0.50, 14)
 		}
 		target := ms.AMATS(fastSA) + 0.25*(ms.AMATS(slowSA)-ms.AMATS(fastSA))
-		e22 := ms.OptimizeTuples(opt.TupleBudget{NTox: 2, NVth: 2}, vths, toxs, target)
-		e21 := ms.OptimizeTuples(opt.TupleBudget{NTox: 2, NVth: 1}, vths, toxs, target)
-		e12 := ms.OptimizeTuples(opt.TupleBudget{NTox: 1, NVth: 2}, vths, toxs, target)
+		e22, err := ms.OptimizeTuplesCtx(ctx, opt.TupleBudget{NTox: 2, NVth: 2}, vths, toxs, target)
+		if err != nil {
+			return Table{}, err
+		}
+		e21, err := ms.OptimizeTuplesCtx(ctx, opt.TupleBudget{NTox: 2, NVth: 1}, vths, toxs, target)
+		if err != nil {
+			return Table{}, err
+		}
+		e12, err := ms.OptimizeTuplesCtx(ctx, opt.TupleBudget{NTox: 1, NVth: 2}, vths, toxs, target)
+		if err != nil {
+			return Table{}, err
+		}
 		verdict := "no"
 		if e12.Feasible && e21.Feasible && e12.EnergyJ <= e21.EnergyJ {
 			verdict = "yes"

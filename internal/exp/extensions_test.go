@@ -7,7 +7,7 @@ import (
 )
 
 func TestModelVsDirectAblation(t *testing.T) {
-	tab, err := env(t).ModelVsDirectAblation()
+	tab, err := env(t).ModelVsDirectAblation(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestModelVsDirectAblation(t *testing.T) {
 }
 
 func TestDelayCompositionAblation(t *testing.T) {
-	tab, err := env(t).DelayCompositionAblation()
+	tab, err := env(t).DelayCompositionAblation(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestDelayCompositionAblation(t *testing.T) {
 }
 
 func TestDrowsyExtension(t *testing.T) {
-	tab, err := env(t).DrowsyExtension()
+	tab, err := env(t).DrowsyExtension(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestDrowsyExtension(t *testing.T) {
 }
 
 func TestTemperatureSensitivity(t *testing.T) {
-	tab, err := env(t).TemperatureSensitivity()
+	tab, err := env(t).TemperatureSensitivity(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestTemperatureSensitivity(t *testing.T) {
 }
 
 func TestNodeComparison(t *testing.T) {
-	tab, err := env(t).NodeComparison()
+	tab, err := env(t).NodeComparison(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestNodeComparison(t *testing.T) {
 }
 
 func TestReplacementAblation(t *testing.T) {
-	tab, err := env(t).ReplacementAblation()
+	tab, err := env(t).ReplacementAblation(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestReplacementAblation(t *testing.T) {
 }
 
 func TestAreaTable(t *testing.T) {
-	tab, err := env(t).AreaTable()
+	tab, err := env(t).AreaTable(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestAreaTable(t *testing.T) {
 }
 
 func TestSystemEnergyPerInstruction(t *testing.T) {
-	tab, err := env(t).SystemEnergyPerInstruction()
+	tab, err := env(t).SystemEnergyPerInstruction(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestSystemEnergyPerInstruction(t *testing.T) {
 }
 
 func TestExtensionsBundle(t *testing.T) {
-	arts, err := env(t).Extensions()
+	arts, err := env(t).ExtensionsCtx(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestExtensionsBundle(t *testing.T) {
 }
 
 func TestJointOptimizationTable(t *testing.T) {
-	tab, err := env(t).JointOptimization()
+	tab, err := env(t).JointOptimization(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestJointOptimizationTable(t *testing.T) {
 }
 
 func TestMemorySensitivityTable(t *testing.T) {
-	tab, err := env(t).MemorySensitivity()
+	tab, err := env(t).MemorySensitivity(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}

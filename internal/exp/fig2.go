@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachecfg"
@@ -13,8 +14,8 @@ import (
 
 // fig2System assembles the whole-memory-system optimizer input: 16 KB L1 +
 // 512 KB L2 + main memory with the averaged workload statistics.
-func (e *Env) fig2System() (*opt.MemorySystem, error) {
-	tl, err := e.twoLevelFor(16*cachecfg.KB, 512*cachecfg.KB)
+func (e *Env) fig2System(ctx context.Context) (*opt.MemorySystem, error) {
+	tl, err := e.twoLevelFor(ctx, 16*cachecfg.KB, 512*cachecfg.KB)
 	if err != nil {
 		return nil, err
 	}
@@ -29,8 +30,8 @@ func fig2Candidates() (vths, toxs []float64) {
 
 // Fig2 reproduces Figure 2: total energy per access (pJ) vs AMAT (ps) for
 // the five (#Tox, #Vth) tuple budgets the paper plots.
-func (e *Env) Fig2() (Figure, error) {
-	ms, err := e.fig2System()
+func (e *Env) Fig2(ctx context.Context) (Figure, error) {
+	ms, err := e.fig2System(ctx)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -53,7 +54,11 @@ func (e *Env) Fig2() (Figure, error) {
 	}
 	for _, b := range opt.Figure2Budgets() {
 		s := Series{Name: b.String()}
-		for _, r := range ms.TupleCurve(b, vths, toxs, budgets) {
+		curve, err := ms.TupleCurveCtx(ctx, b, vths, toxs, budgets)
+		if err != nil {
+			return Figure{}, err
+		}
+		for _, r := range curve {
 			if !r.Feasible {
 				continue
 			}
@@ -67,8 +72,8 @@ func (e *Env) Fig2() (Figure, error) {
 
 // Fig2Summary distils Figure 2 into the paper's textual findings: the best
 // budget, the (2,2)-vs-(2,3) gap, and the knob comparison.
-func (e *Env) Fig2Summary() (Table, error) {
-	ms, err := e.fig2System()
+func (e *Env) Fig2Summary(ctx context.Context) (Table, error) {
+	ms, err := e.fig2System(ctx)
 	if err != nil {
 		return Table{}, err
 	}
@@ -93,7 +98,10 @@ func (e *Env) Fig2Summary() (Table, error) {
 		},
 	}
 	for _, b := range opt.Figure2Budgets() {
-		r := ms.OptimizeTuples(b, vths, toxs, target)
+		r, err := ms.OptimizeTuplesCtx(ctx, b, vths, toxs, target)
+		if err != nil {
+			return Table{}, err
+		}
 		if !r.Feasible {
 			t.AddRow(b.String(), "infeasible", "-", "-", "-")
 			continue
@@ -124,7 +132,7 @@ func formatSet(vals []float64, f string) string {
 // BaselineComparison compares the paper's joint (Vth, Tox) optimization
 // against the Vth-only prior art ([7], Kim et al. ICCAD'03) and a Tox-only
 // strawman, on the 16 KB cache across delay budgets.
-func (e *Env) BaselineComparison() (Table, error) {
+func (e *Env) BaselineComparison(ctx context.Context) (Table, error) {
 	m, err := e.Model(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -153,19 +161,23 @@ func (e *Env) BaselineComparison() (Table, error) {
 	}
 	for _, frac := range []float64{0.3, 0.45, 0.6, 0.75, 0.9} {
 		budget := lo + frac*(hi-lo)
-		t.AddRow(
-			fmt.Sprintf("%.0f", units.ToPS(budget)),
-			fmtRes(opt.OptimizeSchemeII(m, full, budget)),
-			fmtRes(opt.OptimizeSchemeII(m, vthOnly, budget)),
-			fmtRes(opt.OptimizeSchemeII(m, toxOnly, budget)),
-		)
+		row := make([]string, 0, 4)
+		row = append(row, fmt.Sprintf("%.0f", units.ToPS(budget)))
+		for _, grid := range [][]device.OperatingPoint{full, vthOnly, toxOnly} {
+			r, err := opt.OptimizeSchemeIICtx(ctx, m, grid, budget)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmtRes(r))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
 
 // FitQuality reports the R^2 of every fitted component model — the Section 3
 // claim that the exponential/linear forms hold for all cache components.
-func (e *Env) FitQuality() (Table, error) {
+func (e *Env) FitQuality(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "tab-fit",
 		Title:   "Analytical model fit quality (R^2 over the characterization grid)",
@@ -176,6 +188,9 @@ func (e *Env) FitQuality() (Table, error) {
 		},
 	}
 	for _, cfg := range []cachecfg.Config{fig1Cache(), cachecfg.L2(512 * cachecfg.KB)} {
+		if err := ctx.Err(); err != nil {
+			return Table{}, err
+		}
 		m, err := e.Model(cfg)
 		if err != nil {
 			return Table{}, err

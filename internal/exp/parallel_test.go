@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -49,6 +52,82 @@ func TestAllParallelByteIdentical(t *testing.T) {
 		if par != seq {
 			t.Fatalf("workers=%d output differs from sequential run", workers)
 		}
+	}
+}
+
+// renderArts flattens an artifact slice the same way renderAll does.
+func renderArts(arts []Artifact) string {
+	var b strings.Builder
+	for _, a := range arts {
+		b.WriteString(a.ID)
+		b.WriteString("\n")
+		b.WriteString(a.Render())
+		b.WriteString(a.CSV())
+	}
+	return b.String()
+}
+
+// TestStreamExperimentsByteIdentical extends the engine contract to the
+// streaming path: artifacts streamed at several worker counts must arrive
+// in registry order and render byte-identically to a buffered sequential
+// run — streaming changes delivery, never content.
+func TestStreamExperimentsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds cold environments")
+	}
+	seq := renderAll(t, tinyEnv(1))
+	for _, workers := range []int{1, 4} {
+		e := tinyEnv(workers)
+		ch, wait := e.StreamExperiments(context.Background(), Experiments())
+		var arts []Artifact
+		for a := range ch {
+			arts = append(arts, a)
+		}
+		if err := wait(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderArts(arts); got != seq {
+			t.Fatalf("workers=%d: streamed output differs from buffered sequential run", workers)
+		}
+	}
+}
+
+// TestRunExperimentsCtxCancel checks that a cancelled evaluation aborts
+// promptly with context.Canceled instead of running the full registry.
+func TestRunExperimentsCtxCancel(t *testing.T) {
+	e := NewQuickEnv()
+	e.Accesses = 100_000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AllCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestProgressReportsCompletion checks the Env.Progress hook sees every
+// experiment exactly once with a plausible (done, total) pair.
+func TestProgressReportsCompletion(t *testing.T) {
+	e := env(t)
+	old := e.Progress
+	defer func() { e.Progress = old }()
+	var calls atomic.Int64
+	e.Progress = func(done, total int) {
+		calls.Add(1)
+		if done < 1 || done > total {
+			t.Errorf("progress (%d, %d) out of range", done, total)
+		}
+	}
+	var fit []Experiment
+	for _, x := range Experiments() {
+		if x.ID == "tab-fit" || x.ID == "fig1" {
+			fit = append(fit, x)
+		}
+	}
+	if _, err := e.RunExperimentsCtx(context.Background(), fit); err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != len(fit) {
+		t.Fatalf("progress called %d times for %d experiments", calls.Load(), len(fit))
 	}
 }
 

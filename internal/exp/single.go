@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cachecfg"
@@ -19,7 +20,10 @@ func fig1Cache() cachecfg.Config { return cachecfg.L1(16 * cachecfg.KB) }
 // along four one-dimensional knob slices under a uniform (Scheme III)
 // assignment — Tox fixed at 10 A and 14 A (Vth swept), Vth fixed at 200 mV
 // and 400 mV (Tox swept). Evaluated on the transistor-level netlists.
-func (e *Env) Fig1() (Figure, error) {
+func (e *Env) Fig1(ctx context.Context) (Figure, error) {
+	if err := ctx.Err(); err != nil {
+		return Figure{}, err
+	}
 	c, err := e.Cache(fig1Cache())
 	if err != nil {
 		return Figure{}, err
@@ -53,7 +57,7 @@ func (e *Env) Fig1() (Figure, error) {
 
 // SchemeComparison reproduces the Section 4 scheme study: minimum leakage of
 // Schemes I, II, III for a 16 KB cache across a sweep of delay constraints.
-func (e *Env) SchemeComparison() (Table, error) {
+func (e *Env) SchemeComparison(ctx context.Context) (Table, error) {
 	m, err := e.Model(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -74,11 +78,20 @@ func (e *Env) SchemeComparison() (Table, error) {
 	// One worker per delay budget; rows are collected in budget order so the
 	// table matches a sequential run byte for byte.
 	fracs := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	rows, err := sweep.Map(len(fracs), e.workers(), func(i int) ([]string, error) {
+	rows, err := sweep.MapCtx(ctx, len(fracs), e.workers(), func(ctx context.Context, i int) ([]string, error) {
 		budget := lo + fracs[i]*(hi-lo)
-		r1 := opt.OptimizeSchemeI(m, ops, budget, 0)
-		r2 := opt.OptimizeSchemeII(m, ops, budget)
-		r3 := opt.OptimizeSchemeIII(m, ops, budget)
+		r1, err := opt.OptimizeSchemeICtx(ctx, m, ops, budget, 0)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := opt.OptimizeSchemeIICtx(ctx, m, ops, budget)
+		if err != nil {
+			return nil, err
+		}
+		r3, err := opt.OptimizeSchemeIIICtx(ctx, m, ops, budget)
+		if err != nil {
+			return nil, err
+		}
 		if !r1.Feasible || !r2.Feasible || !r3.Feasible {
 			return nil, nil
 		}
@@ -105,7 +118,7 @@ func (e *Env) SchemeComparison() (Table, error) {
 // SchemeAssignments reports the optimal Scheme II assignments across
 // budgets, demonstrating the paper's structural finding: high Vth and thick
 // Tox in the cell array, aggressive values in the periphery.
-func (e *Env) SchemeAssignments() (Table, error) {
+func (e *Env) SchemeAssignments(ctx context.Context) (Table, error) {
 	m, err := e.Model(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -125,7 +138,10 @@ func (e *Env) SchemeAssignments() (Table, error) {
 	}
 	for _, frac := range []float64{0.3, 0.45, 0.6, 0.75, 0.9} {
 		budget := lo + frac*(hi-lo)
-		r := opt.OptimizeSchemeII(m, ops, budget)
+		r, err := opt.OptimizeSchemeIICtx(ctx, m, ops, budget)
+		if err != nil {
+			return Table{}, err
+		}
 		if !r.Feasible {
 			continue
 		}
@@ -147,7 +163,7 @@ func (e *Env) SchemeAssignments() (Table, error) {
 // delay span and leakage span of each slice of Figure 1, plus the paper's
 // recommended strategy (Tox pinned conservatively high, Vth free) against
 // the converse.
-func (e *Env) KnobSensitivity() (Table, error) {
+func (e *Env) KnobSensitivity(ctx context.Context) (Table, error) {
 	c, err := e.Cache(fig1Cache())
 	if err != nil {
 		return Table{}, err
@@ -218,7 +234,10 @@ func (e *Env) KnobSensitivity() (Table, error) {
 		{"strategy: both free", full},
 	}
 	for _, s := range strategies {
-		r := opt.OptimizeSchemeII(m, s.ops, budget)
+		r, err := opt.OptimizeSchemeIICtx(ctx, m, s.ops, budget)
+		if err != nil {
+			return Table{}, err
+		}
 		leak := "infeasible"
 		if r.Feasible {
 			leak = fmt.Sprintf("%.4f mW", units.ToMW(r.LeakageW))

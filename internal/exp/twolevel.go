@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,8 +19,8 @@ import (
 func l1Fixed() cachecfg.Config { return cachecfg.L1(16 * cachecfg.KB) }
 
 // twoLevelFor assembles the optimizer input for one (L1 size, L2 size).
-func (e *Env) twoLevelFor(l1Size, l2Size int) (*opt.TwoLevel, error) {
-	mm, err := e.MissMatrix()
+func (e *Env) twoLevelFor(ctx context.Context, l1Size, l2Size int) (*opt.TwoLevel, error) {
+	mm, err := e.MissMatrixCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -52,10 +53,10 @@ func (e *Env) twoLevelFor(l1Size, l2Size int) (*opt.TwoLevel, error) {
 // rides at its most conservative point, and an oversized L2 pays for its
 // slow access with aggressive knobs *and* carries the most cells — exactly
 // the "bigger is better, up to a point" mechanism of Section 5.
-func (e *Env) commonL2AMATTarget(margin float64) (float64, error) {
+func (e *Env) commonL2AMATTarget(ctx context.Context, margin float64) (float64, error) {
 	a1 := components.Uniform(opt.DefaultOP())
 	conservative := components.Uniform(device.OperatingPoint{Vth: e.Tech.VthMax, ToxM: e.Tech.ToxMax})
-	tl, err := e.twoLevelFor(l1Fixed().SizeBytes, 1*cachecfg.MB)
+	tl, err := e.twoLevelFor(ctx, l1Fixed().SizeBytes, 1*cachecfg.MB)
 	if err != nil {
 		return 0, err
 	}
@@ -67,7 +68,7 @@ func (e *Env) commonL2AMATTarget(margin float64) (float64, error) {
 // L2s win (their lower miss rates let the pair be set conservatively) up to
 // a point of diminishing returns. With split=true the L2's cells and
 // periphery get separate pairs, and smaller L2s win.
-func (e *Env) L2SizeSweep(split bool) (Table, error) {
+func (e *Env) L2SizeSweep(ctx context.Context, split bool) (Table, error) {
 	// Experiment (a) sits right at the 1MB-conservative point, where the
 	// "bigger L2 leaks less" trade shows; experiment (b) tightens the target
 	// ~3% so the knob split has live speed to buy back.
@@ -75,14 +76,14 @@ func (e *Env) L2SizeSweep(split bool) (Table, error) {
 	if split {
 		margin = 1.03
 	}
-	return e.l2SizeSweepAt(margin, split)
+	return e.l2SizeSweepAt(ctx, margin, split)
 }
 
 // l2SizeSweepAt is L2SizeSweep at an explicit AMAT margin. The margin is a
 // parameter (not Env state) so concurrent experiments never observe each
 // other's overrides.
-func (e *Env) l2SizeSweepAt(margin float64, split bool) (Table, error) {
-	target, err := e.commonL2AMATTarget(margin)
+func (e *Env) l2SizeSweepAt(ctx context.Context, margin float64, split bool) (Table, error) {
+	target, err := e.commonL2AMATTarget(ctx, margin)
 	if err != nil {
 		return Table{}, err
 	}
@@ -119,13 +120,16 @@ func (e *Env) l2SizeSweepAt(margin float64, split bool) (Table, error) {
 		leak float64
 		ok   bool
 	}
-	rows, err := sweep.Map(len(sizes), e.workers(), func(i int) (sizeRow, error) {
+	rows, err := sweep.MapCtx(ctx, len(sizes), e.workers(), func(ctx context.Context, i int) (sizeRow, error) {
 		l2Size := sizes[i]
-		tl, err := e.twoLevelFor(l1Fixed().SizeBytes, l2Size)
+		tl, err := e.twoLevelFor(ctx, l1Fixed().SizeBytes, l2Size)
 		if err != nil {
 			return sizeRow{}, err
 		}
-		r := tl.OptimizeL2(scheme, a1, ops, target)
+		r, err := tl.OptimizeL2Ctx(ctx, scheme, a1, ops, target)
+		if err != nil {
+			return sizeRow{}, err
+		}
 		if !r.Feasible {
 			return sizeRow{row: []string{kbLabel(l2Size), fmt.Sprintf("%.3f", tl.M2), "infeasible", "-", "-", "-"}}, nil
 		}
@@ -162,9 +166,9 @@ func (e *Env) l2SizeSweepAt(margin float64, split bool) (Table, error) {
 // L1Sweep reproduces the Section 5 L1 experiment: given a fixed L2, the key
 // to minimizing total leakage is a small L1 (local L1 miss rates barely vary
 // from 4K to 64K).
-func (e *Env) L1Sweep() (Table, error) {
+func (e *Env) L1Sweep(ctx context.Context) (Table, error) {
 	const l2Size = 512 * cachecfg.KB
-	mm, err := e.MissMatrix()
+	mm, err := e.MissMatrixCtx(ctx)
 	if err != nil {
 		return Table{}, err
 	}
@@ -174,8 +178,8 @@ func (e *Env) L1Sweep() (Table, error) {
 	a2 := components.Split(opt.ConservativeOP(), opt.DefaultOP())
 
 	// Common AMAT target: the worst fast-corner AMAT across L1 sizes + margin.
-	amats, err := sweep.Map(len(cachecfg.L1Sizes()), e.workers(), func(i int) (float64, error) {
-		tl, err := e.twoLevelFor(cachecfg.L1Sizes()[i], l2Size)
+	amats, err := sweep.MapCtx(ctx, len(cachecfg.L1Sizes()), e.workers(), func(ctx context.Context, i int) (float64, error) {
+		tl, err := e.twoLevelFor(ctx, cachecfg.L1Sizes()[i], l2Size)
 		if err != nil {
 			return 0, err
 		}
@@ -207,13 +211,16 @@ func (e *Env) L1Sweep() (Table, error) {
 		leak float64
 		ok   bool
 	}
-	rows, err := sweep.Map(len(sizes), e.workers(), func(i int) (sizeRow, error) {
+	rows, err := sweep.MapCtx(ctx, len(sizes), e.workers(), func(ctx context.Context, i int) (sizeRow, error) {
 		l1Size := sizes[i]
-		tl, err := e.twoLevelFor(l1Size, l2Size)
+		tl, err := e.twoLevelFor(ctx, l1Size, l2Size)
 		if err != nil {
 			return sizeRow{}, err
 		}
-		r := tl.OptimizeL1(opt.SchemeII, a2, ops, target)
+		r, err := tl.OptimizeL1Ctx(ctx, opt.SchemeII, a2, ops, target)
+		if err != nil {
+			return sizeRow{}, err
+		}
 		if !r.Feasible {
 			return sizeRow{row: []string{kbLabel(l1Size), fmt.Sprintf("%.3f", mm.L1Local[l1Size]), "infeasible", "-", "-"}}, nil
 		}
@@ -247,12 +254,12 @@ func (e *Env) L1Sweep() (Table, error) {
 
 // MissRateTable reports the architectural inputs (Section 5's "architectural
 // simulations"): local miss rates per suite and the suite average.
-func (e *Env) MissRateTable() (Table, error) {
-	ms, err := e.SuiteMatrices()
+func (e *Env) MissRateTable(ctx context.Context) (Table, error) {
+	ms, err := e.SuiteMatricesCtx(ctx)
 	if err != nil {
 		return Table{}, err
 	}
-	avg, err := e.MissMatrix()
+	avg, err := e.MissMatrixCtx(ctx)
 	if err != nil {
 		return Table{}, err
 	}
@@ -280,11 +287,11 @@ func (e *Env) MissRateTable() (Table, error) {
 
 // L2SweepAtMargin exposes the L2 sweep at an explicit AMAT margin for
 // sensitivity studies and ablations.
-func (e *Env) L2SweepAtMargin(margin float64) (single, split Table, err error) {
-	single, err = e.l2SizeSweepAt(margin, false)
+func (e *Env) L2SweepAtMargin(ctx context.Context, margin float64) (single, split Table, err error) {
+	single, err = e.l2SizeSweepAt(ctx, margin, false)
 	if err != nil {
 		return
 	}
-	split, err = e.l2SizeSweepAt(margin, true)
+	split, err = e.l2SizeSweepAt(ctx, margin, true)
 	return
 }

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/components"
@@ -21,6 +22,13 @@ import (
 // from the fastest corner (always feasible if anything is) and lets the
 // levels take turns relaxing toward conservative knobs.
 func OptimizeJoint(t *TwoLevel, scheme Scheme, ops []device.OperatingPoint, amatBudget float64, maxRounds int) TwoLevelResult {
+	r, _ := OptimizeJointCtx(context.Background(), t, scheme, ops, amatBudget, maxRounds)
+	return r
+}
+
+// OptimizeJointCtx is OptimizeJoint with cancellation: the context is
+// checked once per descent round and inside each level's grid search.
+func OptimizeJointCtx(ctx context.Context, t *TwoLevel, scheme Scheme, ops []device.OperatingPoint, amatBudget float64, maxRounds int) (TwoLevelResult, error) {
 	if maxRounds <= 0 {
 		maxRounds = 8
 	}
@@ -28,7 +36,7 @@ func OptimizeJoint(t *TwoLevel, scheme Scheme, ops []device.OperatingPoint, amat
 	a1 := components.Uniform(fastest)
 	a2 := components.Uniform(fastest)
 	if t.AMAT(a1, a2) > amatBudget {
-		return TwoLevelResult{Feasible: false}
+		return TwoLevelResult{Feasible: false}, nil
 	}
 
 	best := math.Inf(1)
@@ -36,13 +44,21 @@ func OptimizeJoint(t *TwoLevel, scheme Scheme, ops []device.OperatingPoint, amat
 		improved := false
 
 		// Optimize L2 with L1 pinned.
-		if r := t.OptimizeL2(scheme, a1, ops, amatBudget); r.Feasible && r.LeakageW < best-1e-15 {
+		r, err := t.OptimizeL2Ctx(ctx, scheme, a1, ops, amatBudget)
+		if err != nil {
+			return TwoLevelResult{Feasible: false}, err
+		}
+		if r.Feasible && r.LeakageW < best-1e-15 {
 			a2 = r.L2Assignment
 			best = r.LeakageW
 			improved = true
 		}
 		// Optimize L1 with L2 pinned.
-		if r := t.OptimizeL1(scheme, a2, ops, amatBudget); r.Feasible && r.LeakageW < best-1e-15 {
+		r, err = t.OptimizeL1Ctx(ctx, scheme, a2, ops, amatBudget)
+		if err != nil {
+			return TwoLevelResult{Feasible: false}, err
+		}
+		if r.Feasible && r.LeakageW < best-1e-15 {
 			a1 = r.L1Assignment
 			best = r.LeakageW
 			improved = true
@@ -59,7 +75,7 @@ func OptimizeJoint(t *TwoLevel, scheme Scheme, ops []device.OperatingPoint, amat
 		AMATS:        sys.AMAT(),
 		TotalEnergyJ: sys.TotalEnergyJ(),
 		Feasible:     true,
-	}
+	}, nil
 }
 
 // fastestOP returns the candidate with minimum Vth then minimum Tox.

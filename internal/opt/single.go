@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/components"
@@ -23,13 +24,21 @@ func scanWorkers(n int) int {
 }
 
 // OptimizeSchemeIII finds the least-leaky uniform assignment meeting the
-// delay budget by scanning the candidate operating points. The scan is
+// delay budget; it is OptimizeSchemeIIICtx without cancellation.
+func OptimizeSchemeIII(ev Evaluator, ops []device.OperatingPoint, delayBudget float64) Result {
+	r, _ := OptimizeSchemeIIICtx(context.Background(), ev, ops, delayBudget)
+	return r
+}
+
+// OptimizeSchemeIIICtx finds the least-leaky uniform assignment meeting
+// the delay budget by scanning the candidate operating points. The scan is
 // sharded across workers; shard-local bests are reduced in input order with
 // the same strict inequality as the sequential scan, so the earliest
-// feasible candidate still wins ties and the result is identical.
-func OptimizeSchemeIII(ev Evaluator, ops []device.OperatingPoint, delayBudget float64) Result {
+// feasible candidate still wins ties and the result is identical. On
+// cancellation it returns ctx's error and an infeasible result.
+func OptimizeSchemeIIICtx(ctx context.Context, ev Evaluator, ops []device.OperatingPoint, delayBudget float64) (Result, error) {
 	shards := sweep.Shards(len(ops), scanWorkers(len(ops)))
-	partials, _ := sweep.Map(len(shards), len(shards), func(si int) (Result, error) {
+	partials, err := sweep.MapCtx(ctx, len(shards), len(shards), func(ctx context.Context, si int) (Result, error) {
 		best := infeasible(SchemeIII)
 		for _, op := range ops[shards[si].Lo:shards[si].Hi] {
 			a := components.Uniform(op)
@@ -45,7 +54,10 @@ func OptimizeSchemeIII(ev Evaluator, ops []device.OperatingPoint, delayBudget fl
 		}
 		return best, nil
 	})
-	return reduceResults(SchemeIII, partials)
+	if err != nil {
+		return infeasible(SchemeIII), err
+	}
+	return reduceResults(SchemeIII, partials), nil
 }
 
 // reduceResults folds shard-local optimization results in shard order,
@@ -65,17 +77,25 @@ func reduceResults(s Scheme, partials []Result) Result {
 }
 
 // OptimizeSchemeII finds the least-leaky (cell pair, periphery pair)
+// assignment meeting the delay budget; it is OptimizeSchemeIICtx without
+// cancellation.
+func OptimizeSchemeII(ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64) Result {
+	r, _ := OptimizeSchemeIICtx(context.Background(), ev, ops, delayBudget)
+	return r
+}
+
+// OptimizeSchemeIICtx finds the least-leaky (cell pair, periphery pair)
 // assignment meeting the delay budget. The two groups decompose additively,
 // so each group is reduced to its Pareto front first (the two front builds
 // run concurrently, each sharding its candidate scan) and the fronts are
 // combined in O(|cell front| * log |periph front|).
-func OptimizeSchemeII(ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64) Result {
-	fronts, _ := sweep.Map(2, 2, func(which int) ([]ParetoPoint, error) {
+func OptimizeSchemeIICtx(ctx context.Context, ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64) (Result, error) {
+	fronts, err := sweep.MapCtx(ctx, 2, 2, func(ctx context.Context, which int) ([]ParetoPoint, error) {
 		if which == 0 {
 			return componentPareto(ev, int(components.PartCellArray), ops), nil
 		}
 		// Periphery group: three components sharing one pair.
-		periphPts, _ := sweep.Map(len(ops), scanWorkers(len(ops)), func(i int) (ParetoPoint, error) {
+		periphPts, perr := sweep.MapCtx(ctx, len(ops), scanWorkers(len(ops)), func(_ context.Context, i int) (ParetoPoint, error) {
 			var d, l float64
 			for _, p := range []components.PartID{components.PartDecoder, components.PartAddrDrivers, components.PartDataDrivers} {
 				d += ev.PartDelayS(p, ops[i])
@@ -83,8 +103,14 @@ func OptimizeSchemeII(ev ComponentEvaluator, ops []device.OperatingPoint, delayB
 			}
 			return ParetoPoint{DelayS: d, LeakageW: l, OP: ops[i]}, nil
 		})
+		if perr != nil {
+			return nil, perr
+		}
 		return ParetoFront(periphPts), nil
 	})
+	if err != nil {
+		return infeasible(SchemeII), err
+	}
 	cellFront, periphFront := fronts[0], fronts[1]
 
 	best := infeasible(SchemeII)
@@ -105,7 +131,7 @@ func OptimizeSchemeII(ev ComponentEvaluator, ops []device.OperatingPoint, delayB
 			best.Feasible = true
 		}
 	}
-	return best
+	return best, nil
 }
 
 // SchemeIBins is the default delay quantization for the Scheme I dynamic
@@ -113,21 +139,33 @@ func OptimizeSchemeII(ev ComponentEvaluator, ops []device.OperatingPoint, delayB
 const SchemeIBins = 4000
 
 // OptimizeSchemeI finds independent per-component pairs minimizing total
+// leakage under the delay budget; it is OptimizeSchemeICtx without
+// cancellation.
+func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64, bins int) Result {
+	r, _ := OptimizeSchemeICtx(context.Background(), ev, ops, delayBudget, bins)
+	return r
+}
+
+// OptimizeSchemeICtx finds independent per-component pairs minimizing total
 // leakage under the delay budget. Components are reduced to Pareto fronts
 // and combined with a multiple-choice-knapsack dynamic program over a
 // quantized delay budget. Delays are rounded up to bin boundaries, so the
 // returned assignment never violates the true budget (the DP may miss
-// solutions within one bin width of the boundary).
-func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64, bins int) Result {
+// solutions within one bin width of the boundary). The context is checked
+// between DP layers.
+func OptimizeSchemeICtx(ctx context.Context, ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64, bins int) (Result, error) {
 	if bins <= 0 {
 		bins = SchemeIBins
 	}
-	fronts, _ := sweep.Map(int(components.PartCount), int(components.PartCount),
-		func(i int) ([]ParetoPoint, error) { return componentPareto(ev, i, ops), nil })
+	fronts, err := sweep.MapCtx(ctx, int(components.PartCount), int(components.PartCount),
+		func(_ context.Context, i int) ([]ParetoPoint, error) { return componentPareto(ev, i, ops), nil })
+	if err != nil {
+		return infeasible(SchemeI), err
+	}
 	evaluated := int(components.PartCount) * len(ops)
 	binW := delayBudget / float64(bins)
 	if binW <= 0 {
-		return infeasible(SchemeI)
+		return infeasible(SchemeI), nil
 	}
 
 	const inf = math.MaxFloat64
@@ -138,6 +176,9 @@ func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBu
 	tables := make([][]float64, components.PartCount+1)
 	tables[0] = make([]float64, bins+1)
 	for k := 0; k < int(components.PartCount); k++ {
+		if err := ctx.Err(); err != nil {
+			return infeasible(SchemeI), err
+		}
 		cur := tables[k]
 		nxt := make([]float64, bins+1)
 		for i := range nxt {
@@ -171,7 +212,7 @@ func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBu
 	if bestBin < 0 {
 		r := infeasible(SchemeI)
 		r.Evaluated = evaluated
-		return r
+		return r, nil
 	}
 
 	// Backtrack through the tables to recover the per-component choices.
@@ -194,7 +235,7 @@ func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBu
 		if !found {
 			r := infeasible(SchemeI)
 			r.Evaluated = evaluated
-			return r
+			return r, nil
 		}
 	}
 
@@ -209,7 +250,7 @@ func OptimizeSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delayBu
 		DelayS:     trueDelay,
 		Feasible:   true,
 		Evaluated:  evaluated,
-	}
+	}, nil
 }
 
 func approxEq(a, b float64) bool {
@@ -249,15 +290,22 @@ func ExhaustiveSchemeI(ev ComponentEvaluator, ops []device.OperatingPoint, delay
 	return best
 }
 
-// Optimize dispatches to the scheme-specific optimizer.
+// Optimize dispatches to the scheme-specific optimizer; it is OptimizeCtx
+// without cancellation.
 func Optimize(s Scheme, ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64) Result {
+	r, _ := OptimizeCtx(context.Background(), s, ev, ops, delayBudget)
+	return r
+}
+
+// OptimizeCtx dispatches to the scheme-specific optimizer.
+func OptimizeCtx(ctx context.Context, s Scheme, ev ComponentEvaluator, ops []device.OperatingPoint, delayBudget float64) (Result, error) {
 	switch s {
 	case SchemeI:
-		return OptimizeSchemeI(ev, ops, delayBudget, 0)
+		return OptimizeSchemeICtx(ctx, ev, ops, delayBudget, 0)
 	case SchemeII:
-		return OptimizeSchemeII(ev, ops, delayBudget)
+		return OptimizeSchemeIICtx(ctx, ev, ops, delayBudget)
 	default:
-		return OptimizeSchemeIII(ev, ops, delayBudget)
+		return OptimizeSchemeIIICtx(ctx, ev, ops, delayBudget)
 	}
 }
 
@@ -274,12 +322,18 @@ func FeasibleDelayRange(ev Evaluator, ops []device.OperatingPoint) (lo, hi float
 }
 
 // Frontier sweeps delay budgets and returns one optimization result per
+// budget; it is FrontierCtx without cancellation.
+func Frontier(s Scheme, ev ComponentEvaluator, ops []device.OperatingPoint, budgets []float64) []Result {
+	out, _ := FrontierCtx(context.Background(), s, ev, ops, budgets)
+	return out
+}
+
+// FrontierCtx sweeps delay budgets and returns one optimization result per
 // budget — the leakage-vs-delay trade-off curve of the scheme. Budgets are
 // independent, so each runs on its own worker; results come back in budget
 // order.
-func Frontier(s Scheme, ev ComponentEvaluator, ops []device.OperatingPoint, budgets []float64) []Result {
-	out, _ := sweep.Map(len(budgets), 0, func(i int) (Result, error) {
-		return Optimize(s, ev, ops, budgets[i]), nil
+func FrontierCtx(ctx context.Context, s Scheme, ev ComponentEvaluator, ops []device.OperatingPoint, budgets []float64) ([]Result, error) {
+	return sweep.MapCtx(ctx, len(budgets), 0, func(ctx context.Context, i int) (Result, error) {
+		return OptimizeCtx(ctx, s, ev, ops, budgets[i])
 	})
-	return out
 }

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -173,31 +174,43 @@ func (ms *MemorySystem) groupTables(ops []device.OperatingPoint) [GroupCount]gro
 	return out
 }
 
-// OptimizeTuples finds, for the given tuple budget, the choice of Vth/Tox
-// value sets and the per-group assignment minimizing total energy under the
-// AMAT budget. Candidates are coarse grids (the fab offers a handful of
-// options); all subsets of the candidate lists of the budgeted sizes are
-// enumerated, and within each subset all group assignments are scanned.
+// OptimizeTuples finds the best tuple-budget assignment; it is
+// OptimizeTuplesCtx without cancellation.
+func (ms *MemorySystem) OptimizeTuples(budget TupleBudget, vthCands, toxCands []float64, amatBudget float64) TupleResult {
+	r, _ := ms.OptimizeTuplesCtx(context.Background(), budget, vthCands, toxCands, amatBudget)
+	return r
+}
+
+// OptimizeTuplesCtx finds, for the given tuple budget, the choice of
+// Vth/Tox value sets and the per-group assignment minimizing total energy
+// under the AMAT budget. Candidates are coarse grids (the fab offers a
+// handful of options); all subsets of the candidate lists of the budgeted
+// sizes are enumerated, and within each subset all group assignments are
+// scanned.
 //
 // Each (Vth set, Tox set) choice is an independent shard: shards run in
 // parallel and their local optima are reduced in enumeration order with the
 // sequential scan's strict inequality, so the winner (and every output
-// byte) matches the sequential search.
-func (ms *MemorySystem) OptimizeTuples(budget TupleBudget, vthCands, toxCands []float64, amatBudget float64) TupleResult {
+// byte) matches the sequential search. Cancellation stops scheduling
+// shards and aborts the in-shard enumeration.
+func (ms *MemorySystem) OptimizeTuplesCtx(ctx context.Context, budget TupleBudget, vthCands, toxCands []float64, amatBudget float64) (TupleResult, error) {
 	res := TupleResult{Budget: budget, EnergyJ: math.Inf(1)}
 	if err := budget.Validate(len(vthCands), len(toxCands)); err != nil {
-		return res
+		return res, nil
 	}
 
 	vthSets := combinations(len(vthCands), budget.NVth)
 	toxSets := combinations(len(toxCands), budget.NTox)
 
 	nCombos := len(vthSets) * len(toxSets)
-	partials, _ := sweep.Map(nCombos, 0, func(ci int) (TupleResult, error) {
+	partials, err := sweep.MapCtx(ctx, nCombos, 0, func(ctx context.Context, ci int) (TupleResult, error) {
 		vs := vthSets[ci/len(toxSets)]
 		ts := toxSets[ci%len(toxSets)]
-		return ms.tupleCombo(budget, vthCands, toxCands, vs, ts, amatBudget), nil
+		return ms.tupleCombo(ctx, budget, vthCands, toxCands, vs, ts, amatBudget)
 	})
+	if err != nil {
+		return TupleResult{Budget: budget, EnergyJ: math.Inf(1)}, err
+	}
 	for _, p := range partials {
 		res.Evaluated += p.Evaluated
 		if p.Feasible && p.EnergyJ < res.EnergyJ {
@@ -206,11 +219,11 @@ func (ms *MemorySystem) OptimizeTuples(budget TupleBudget, vthCands, toxCands []
 			res.Evaluated = ev
 		}
 	}
-	return res
+	return res, nil
 }
 
 // tupleCombo scans all group assignments of one (Vth set, Tox set) choice.
-func (ms *MemorySystem) tupleCombo(budget TupleBudget, vthCands, toxCands []float64, vs, ts []int, amatBudget float64) TupleResult {
+func (ms *MemorySystem) tupleCombo(ctx context.Context, budget TupleBudget, vthCands, toxCands []float64, vs, ts []int, amatBudget float64) (TupleResult, error) {
 	res := TupleResult{Budget: budget, EnergyJ: math.Inf(1)}
 	// Build the pair menu for this value-set choice.
 	ops := make([]device.OperatingPoint, 0, len(vs)*len(ts))
@@ -222,9 +235,13 @@ func (ms *MemorySystem) tupleCombo(budget TupleBudget, vthCands, toxCands []floa
 	tables := ms.groupTables(ops)
 	n := len(ops)
 
-	// Enumerate all n^4 group assignments.
+	// Enumerate all n^4 group assignments, checking the context once per
+	// outermost slice so cancellation does not wait out the whole scan.
 	var idx [GroupCount]int
 	for idx[0] = 0; idx[0] < n; idx[0]++ {
+		if err := ctx.Err(); err != nil {
+			return TupleResult{Budget: budget, EnergyJ: math.Inf(1)}, err
+		}
 		for idx[1] = 0; idx[1] < n; idx[1]++ {
 			t1 := tables[0].delay[idx[0]] + tables[1].delay[idx[1]]
 			l1leak := tables[0].leak[idx[0]] + tables[1].leak[idx[1]]
@@ -257,16 +274,23 @@ func (ms *MemorySystem) tupleCombo(budget TupleBudget, vthCands, toxCands []floa
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
-// TupleCurve sweeps AMAT budgets for one tuple budget — one Figure 2 series.
-// Budgets are independent and run in parallel, collected in budget order.
+// TupleCurve sweeps AMAT budgets for one tuple budget; it is TupleCurveCtx
+// without cancellation.
 func (ms *MemorySystem) TupleCurve(budget TupleBudget, vthCands, toxCands []float64, amatBudgets []float64) []TupleResult {
-	out, _ := sweep.Map(len(amatBudgets), 0, func(i int) (TupleResult, error) {
-		return ms.OptimizeTuples(budget, vthCands, toxCands, amatBudgets[i]), nil
-	})
+	out, _ := ms.TupleCurveCtx(context.Background(), budget, vthCands, toxCands, amatBudgets)
 	return out
+}
+
+// TupleCurveCtx sweeps AMAT budgets for one tuple budget — one Figure 2
+// series. Budgets are independent and run in parallel, collected in budget
+// order.
+func (ms *MemorySystem) TupleCurveCtx(ctx context.Context, budget TupleBudget, vthCands, toxCands []float64, amatBudgets []float64) ([]TupleResult, error) {
+	return sweep.MapCtx(ctx, len(amatBudgets), 0, func(ctx context.Context, i int) (TupleResult, error) {
+		return ms.OptimizeTuplesCtx(ctx, budget, vthCands, toxCands, amatBudgets[i])
+	})
 }
 
 // Figure2Budgets are the five (#Tox, #Vth) tuples plotted in the paper.

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -116,18 +117,29 @@ func (r TwoLevelResult) String() string {
 }
 
 // OptimizeL2 finds the L2 assignment minimizing combined leakage under an
-// AMAT budget with the L1 pinned to a1 (the paper's first two-level
+// AMAT budget with the L1 pinned to a1; it is OptimizeL2Ctx without
+// cancellation.
+func (t *TwoLevel) OptimizeL2(scheme Scheme, a1 components.Assignment, ops []device.OperatingPoint, amatBudget float64) TwoLevelResult {
+	r, _ := t.OptimizeL2Ctx(context.Background(), scheme, a1, ops, amatBudget)
+	return r
+}
+
+// OptimizeL2Ctx finds the L2 assignment minimizing combined leakage under
+// an AMAT budget with the L1 pinned to a1 (the paper's first two-level
 // experiment uses the default pair for L1). scheme selects the granularity
 // inside the L2: SchemeIII is the "one pair in L2" experiment; SchemeII is
 // the "core cells vs periphery" split.
-func (t *TwoLevel) OptimizeL2(scheme Scheme, a1 components.Assignment, ops []device.OperatingPoint, amatBudget float64) TwoLevelResult {
+func (t *TwoLevel) OptimizeL2Ctx(ctx context.Context, scheme Scheme, a1 components.Assignment, ops []device.OperatingPoint, amatBudget float64) (TwoLevelResult, error) {
 	delayBudget, ok := t.L2DelayBudget(a1, amatBudget)
 	if !ok {
-		return TwoLevelResult{Feasible: false}
+		return TwoLevelResult{Feasible: false}, nil
 	}
-	res := Optimize(scheme, t.L2, ops, delayBudget)
+	res, err := OptimizeCtx(ctx, scheme, t.L2, ops, delayBudget)
+	if err != nil {
+		return TwoLevelResult{Feasible: false}, err
+	}
 	if !res.Feasible {
-		return TwoLevelResult{Feasible: false}
+		return TwoLevelResult{Feasible: false}, nil
 	}
 	sys := t.System(a1, res.Assignment)
 	return TwoLevelResult{
@@ -137,30 +149,47 @@ func (t *TwoLevel) OptimizeL2(scheme Scheme, a1 components.Assignment, ops []dev
 		AMATS:        sys.AMAT(),
 		TotalEnergyJ: sys.TotalEnergyJ(),
 		Feasible:     true,
-	}
+	}, nil
 }
 
-// OptimizeL2Frontier evaluates OptimizeL2 at each AMAT budget, one budget
-// per worker, returning results in budget order — the two-level analogue of
-// Frontier for trade-off curves over the system constraint.
+// OptimizeL2Frontier evaluates OptimizeL2 at each AMAT budget; it is
+// OptimizeL2FrontierCtx without cancellation.
 func (t *TwoLevel) OptimizeL2Frontier(scheme Scheme, a1 components.Assignment, ops []device.OperatingPoint, amatBudgets []float64) []TwoLevelResult {
-	out, _ := sweep.Map(len(amatBudgets), 0, func(i int) (TwoLevelResult, error) {
-		return t.OptimizeL2(scheme, a1, ops, amatBudgets[i]), nil
-	})
+	out, _ := t.OptimizeL2FrontierCtx(context.Background(), scheme, a1, ops, amatBudgets)
 	return out
 }
 
+// OptimizeL2FrontierCtx evaluates OptimizeL2Ctx at each AMAT budget, one
+// budget per worker, returning results in budget order — the two-level
+// analogue of Frontier for trade-off curves over the system constraint.
+func (t *TwoLevel) OptimizeL2FrontierCtx(ctx context.Context, scheme Scheme, a1 components.Assignment, ops []device.OperatingPoint, amatBudgets []float64) ([]TwoLevelResult, error) {
+	return sweep.MapCtx(ctx, len(amatBudgets), 0, func(ctx context.Context, i int) (TwoLevelResult, error) {
+		return t.OptimizeL2Ctx(ctx, scheme, a1, ops, amatBudgets[i])
+	})
+}
+
 // OptimizeL1 finds the L1 assignment minimizing combined leakage under an
-// AMAT budget with the L2 pinned to a2 (the paper's L1 experiment: given a
-// fixed L2, the key to minimizing total leakage is the L1).
+// AMAT budget with the L2 pinned to a2; it is OptimizeL1Ctx without
+// cancellation.
 func (t *TwoLevel) OptimizeL1(scheme Scheme, a2 components.Assignment, ops []device.OperatingPoint, amatBudget float64) TwoLevelResult {
+	r, _ := t.OptimizeL1Ctx(context.Background(), scheme, a2, ops, amatBudget)
+	return r
+}
+
+// OptimizeL1Ctx finds the L1 assignment minimizing combined leakage under
+// an AMAT budget with the L2 pinned to a2 (the paper's L1 experiment: given
+// a fixed L2, the key to minimizing total leakage is the L1).
+func (t *TwoLevel) OptimizeL1Ctx(ctx context.Context, scheme Scheme, a2 components.Assignment, ops []device.OperatingPoint, amatBudget float64) (TwoLevelResult, error) {
 	delayBudget, ok := t.L1DelayBudget(a2, amatBudget)
 	if !ok {
-		return TwoLevelResult{Feasible: false}
+		return TwoLevelResult{Feasible: false}, nil
 	}
-	res := Optimize(scheme, t.L1, ops, delayBudget)
+	res, err := OptimizeCtx(ctx, scheme, t.L1, ops, delayBudget)
+	if err != nil {
+		return TwoLevelResult{Feasible: false}, err
+	}
 	if !res.Feasible {
-		return TwoLevelResult{Feasible: false}
+		return TwoLevelResult{Feasible: false}, nil
 	}
 	sys := t.System(res.Assignment, a2)
 	return TwoLevelResult{
@@ -170,5 +199,5 @@ func (t *TwoLevel) OptimizeL1(scheme Scheme, a2 components.Assignment, ops []dev
 		AMATS:        sys.AMAT(),
 		TotalEnergyJ: sys.TotalEnergyJ(),
 		Feasible:     true,
-	}
+	}, nil
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,18 +91,25 @@ func (b BatchResult) Render() (string, error) {
 	return string(out), nil
 }
 
-// RunBatch executes every scenario of the batch across at most workers
+// RunBatch executes every scenario of the batch; it is RunBatchCtx without
+// cancellation.
+func RunBatch(b Batch, workers int) (BatchResult, error) {
+	return RunBatchCtx(context.Background(), b, workers)
+}
+
+// RunBatchCtx executes every scenario of the batch across at most workers
 // goroutines (0 = GOMAXPROCS). Each scenario builds its own technology,
 // caches, models and workload simulations — nothing is shared — so
 // scenarios are fully isolated and the result array is deterministic and
 // input-ordered. A failing scenario aborts the batch with its name in the
-// error.
-func RunBatch(b Batch, workers int) (BatchResult, error) {
+// error; cancelling ctx stops scheduling scenarios and aborts the running
+// ones mid-simulation.
+func RunBatchCtx(ctx context.Context, b Batch, workers int) (BatchResult, error) {
 	if err := b.Validate(); err != nil {
 		return BatchResult{}, err
 	}
-	results, err := sweep.Map(len(b.Scenarios), workers, func(i int) (Result, error) {
-		res, err := Run(b.Scenarios[i])
+	results, err := sweep.MapCtx(ctx, len(b.Scenarios), workers, func(ctx context.Context, i int) (Result, error) {
+		res, err := RunCtx(ctx, b.Scenarios[i])
 		if err != nil {
 			return Result{}, fmt.Errorf("scenario %q: %w", b.Scenarios[i].Name, err)
 		}
@@ -111,4 +119,79 @@ func RunBatch(b Batch, workers int) (BatchResult, error) {
 		return BatchResult{}, err
 	}
 	return BatchResult{Scenarios: results}, nil
+}
+
+// StreamOptions tunes StreamBatch.
+type StreamOptions struct {
+	// Workers bounds concurrent scenarios (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called once per emitted result with
+	// (scenarios done, total), serialized on the emitter.
+	Progress sweep.Progress
+}
+
+// StreamBatch runs the batch and delivers results over the returned
+// channel in input order as each scenario completes, holding at most a
+// worker-pool's worth of results in memory — the streaming complement to
+// RunBatchCtx for batches too large to buffer. Drain the channel, then
+// call wait for the verdict; on success the streamed results are exactly
+// RunBatchCtx's result array. A failing scenario stops the stream with its
+// name in the error; cancellation stops it with ctx's error.
+func StreamBatch(ctx context.Context, b Batch, opts StreamOptions) (results <-chan Result, wait func() error) {
+	if err := b.Validate(); err != nil {
+		ch := make(chan Result)
+		close(ch)
+		return ch, func() error { return err }
+	}
+	return sweep.Stream(ctx, len(b.Scenarios), sweep.StreamConfig{
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+	}, func(ctx context.Context, i int) (Result, error) {
+		res, err := RunCtx(ctx, b.Scenarios[i])
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario %q: %w", b.Scenarios[i].Name, err)
+		}
+		return res, nil
+	})
+}
+
+// NDJSONLine renders one result as a single compact JSON line (no trailing
+// newline) — the unit of the batch streaming format. The field content is
+// identical to the result's entry in a buffered BatchResult; only the
+// framing (one object per line instead of a "scenarios" array) differs.
+func (r Result) NDJSONLine() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// StreamNDJSON streams the batch to w as NDJSON: one result line per
+// scenario, in input order, each written (and flushable by the caller's
+// writer) as soon as the scenario completes. On error the stream ends
+// early; lines already written remain valid JSON, so consumers can resume
+// from partial output. A write error (e.g. a broken pipe) cancels the
+// remaining scenarios instead of computing output nobody reads.
+func StreamNDJSON(ctx context.Context, b Batch, opts StreamOptions, w io.Writer) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, wait := StreamBatch(ctx, b, opts)
+	var writeErr error
+	for res := range ch {
+		if writeErr != nil {
+			continue // the post-cancel drain; nothing more is scheduled
+		}
+		line, err := res.NDJSONLine()
+		if err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+		if err != nil {
+			writeErr = fmt.Errorf("scenario: streaming %q: %w", res.Name, err)
+			cancel()
+		}
+	}
+	err := wait()
+	if writeErr != nil {
+		// The wait error is the cancellation this function triggered;
+		// the write failure is the root cause.
+		return writeErr
+	}
+	return err
 }

@@ -7,6 +7,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -135,10 +136,16 @@ type TupleOutcome struct {
 	ToxSetA  []float64 `json:"tox_set_a,omitempty"`
 }
 
-// Run executes the scenario: simulate the workload, build the models,
-// optimize the L2 under the AMAT budget, and run any requested tuple
-// optimizations.
+// Run executes the scenario; it is RunCtx without cancellation.
 func Run(cfg Config) (Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the scenario: simulate the workload, build the models,
+// optimize the L2 under the AMAT budget, and run any requested tuple
+// optimizations. Cancelling ctx aborts mid-simulation or mid-search with
+// ctx's error.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -147,7 +154,7 @@ func Run(cfg Config) (Result, error) {
 	l1Size := cfg.L1KB * cachecfg.KB
 	l2Size := cfg.L2KB * cachecfg.KB
 
-	m1, m2, err := missRates(cfg, l1Size, l2Size)
+	m1, m2, err := missRates(ctx, cfg, l1Size, l2Size)
 	if err != nil {
 		return Result{}, err
 	}
@@ -181,7 +188,10 @@ func Run(cfg Config) (Result, error) {
 	res.AMATBudgetPS = units.ToPS(budget)
 
 	scheme := opt.Scheme(cfg.Scheme)
-	r := tl.OptimizeL2(scheme, a1, core.KnobGrid(), budget)
+	r, err := tl.OptimizeL2Ctx(ctx, scheme, a1, core.KnobGrid(), budget)
+	if err != nil {
+		return Result{}, err
+	}
 	res.L2Optimization.Feasible = r.Feasible
 	if r.Feasible {
 		res.L2Optimization.LeakageMW = units.ToMW(r.LeakageW)
@@ -194,8 +204,11 @@ func Run(cfg Config) (Result, error) {
 	ms := &opt.MemorySystem{TwoLevel: *tl}
 	for _, b := range cfg.TupleBudgets {
 		tb := opt.TupleBudget{NTox: b[0], NVth: b[1]}
-		tr := ms.OptimizeTuples(tb,
+		tr, err := ms.OptimizeTuplesCtx(ctx, tb,
 			units.GridSteps(0.20, 0.50, 0.05), units.GridSteps(10, 14, 1), budget)
+		if err != nil {
+			return Result{}, err
+		}
 		outcome := TupleOutcome{Budget: tb.String(), Feasible: tr.Feasible}
 		if tr.Feasible {
 			outcome.EnergyPJ = units.ToPJ(tr.EnergyJ)
@@ -208,7 +221,7 @@ func Run(cfg Config) (Result, error) {
 }
 
 // missRates simulates the configured workload (or the suite average).
-func missRates(cfg Config, l1Size, l2Size int) (float64, float64, error) {
+func missRates(ctx context.Context, cfg Config, l1Size, l2Size int) (float64, float64, error) {
 	var suites []trace.Params
 	if cfg.Workload == "average" {
 		suites = trace.Suites(cfg.Seed)
@@ -222,7 +235,7 @@ func missRates(cfg Config, l1Size, l2Size int) (float64, float64, error) {
 	if len(suites) == 0 {
 		return 0, 0, fmt.Errorf("scenario: workload %q not found", cfg.Workload)
 	}
-	ms, err := sim.BuildSuiteMatrices(suites, []int{l1Size}, []int{l2Size}, cfg.Accesses)
+	ms, err := sim.BuildSuiteMatricesCtx(ctx, suites, []int{l1Size}, []int{l2Size}, cfg.Accesses)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,11 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
+
+// ctxCheckStride is how many simulated accesses an L1 pass runs between
+// context checks: frequent enough that cancellation lands mid-pass (well
+// under one pass of latency), rare enough to stay off the profile.
+const ctxCheckStride = 1 << 16
 
 // MissMatrix holds the architectural statistics the two-level optimization
 // consumes: local miss rates for every (L1 size, L2 size) combination of one
@@ -41,14 +47,23 @@ type l1PassResult struct {
 }
 
 // BuildMissMatrix simulates the workload over every L1/L2 size combination.
-// The L1 miss stream for a given L1 size does not depend on the L2, so each
-// L1 pass is run once and its miss stream replayed into every candidate L2.
+// It is BuildMissMatrixCtx without cancellation.
+func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix, error) {
+	return BuildMissMatrixCtx(context.Background(), p, l1Sizes, l2Sizes, n)
+}
+
+// BuildMissMatrixCtx simulates the workload over every L1/L2 size
+// combination. The L1 miss stream for a given L1 size does not depend on
+// the L2, so each L1 pass is run once and its miss stream replayed into
+// every candidate L2.
 //
 // The L1 passes are independent and run in parallel; each worker gets its
 // own trace generator seeded from the same Params, so every shard sees the
 // identical reference stream and the matrix is byte-for-byte the one a
-// sequential run produces.
-func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix, error) {
+// sequential run produces. Cancelling ctx aborts mid-pass (passes check
+// the context every few tens of thousands of accesses) and returns ctx's
+// error.
+func BuildMissMatrixCtx(ctx context.Context, p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: need a positive access count, got %d", n)
 	}
@@ -70,8 +85,8 @@ func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix
 	sort.Ints(m.L1Sizes)
 	sort.Ints(m.L2Sizes)
 
-	passes, err := sweep.Map(len(m.L1Sizes), 0, func(i int) (l1PassResult, error) {
-		return l1Pass(p, m.L1Sizes[i], m.L2Sizes, n)
+	passes, err := sweep.MapCtx(ctx, len(m.L1Sizes), 0, func(ctx context.Context, i int) (l1PassResult, error) {
+		return l1Pass(ctx, p, m.L1Sizes[i], m.L2Sizes, n)
 	})
 	if err != nil {
 		return nil, err
@@ -85,8 +100,10 @@ func BuildMissMatrix(p trace.Params, l1Sizes, l2Sizes []int, n int) (*MissMatrix
 }
 
 // l1Pass runs one L1 size: fresh per-shard trace generator, one L1
-// simulation, and a replay of the miss stream into every candidate L2.
-func l1Pass(p trace.Params, l1Size int, l2Sizes []int, n int) (l1PassResult, error) {
+// simulation, and a replay of the miss stream into every candidate L2. The
+// context is checked every ctxCheckStride accesses so cancellation does
+// not have to wait out a million-access pass.
+func l1Pass(ctx context.Context, p trace.Params, l1Size int, l2Sizes []int, n int) (l1PassResult, error) {
 	gen, err := trace.New(p)
 	if err != nil {
 		return l1PassResult{}, err
@@ -97,6 +114,11 @@ func l1Pass(p trace.Params, l1Size int, l2Sizes []int, n int) (l1PassResult, err
 	}
 	var stream []missStreamEntry
 	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return l1PassResult{}, err
+			}
+		}
 		a := gen.Next()
 		r := l1.Access(a.Addr, a.Write)
 		if r.Writeback {
@@ -112,6 +134,9 @@ func l1Pass(p trace.Params, l1Size int, l2Sizes []int, n int) (l1PassResult, err
 		l2Local: make(map[int]float64, len(l2Sizes)),
 	}
 	for _, l2Size := range l2Sizes {
+		if err := ctx.Err(); err != nil {
+			return l1PassResult{}, err
+		}
 		l2, err := New(cachecfg.L2(l2Size), LRU, WriteBack)
 		if err != nil {
 			return l1PassResult{}, err
@@ -124,11 +149,17 @@ func l1Pass(p trace.Params, l1Size int, l2Sizes []int, n int) (l1PassResult, err
 	return out, nil
 }
 
-// BuildSuiteMatrices builds matrices for several workloads, one worker per
-// workload (each workload's generator is seeded independently).
+// BuildSuiteMatrices builds matrices for several workloads; it is
+// BuildSuiteMatricesCtx without cancellation.
 func BuildSuiteMatrices(suites []trace.Params, l1Sizes, l2Sizes []int, n int) ([]*MissMatrix, error) {
-	return sweep.Map(len(suites), 0, func(i int) (*MissMatrix, error) {
-		m, err := BuildMissMatrix(suites[i], l1Sizes, l2Sizes, n)
+	return BuildSuiteMatricesCtx(context.Background(), suites, l1Sizes, l2Sizes, n)
+}
+
+// BuildSuiteMatricesCtx builds matrices for several workloads, one worker
+// per workload (each workload's generator is seeded independently).
+func BuildSuiteMatricesCtx(ctx context.Context, suites []trace.Params, l1Sizes, l2Sizes []int, n int) ([]*MissMatrix, error) {
+	return sweep.MapCtx(ctx, len(suites), 0, func(ctx context.Context, i int) (*MissMatrix, error) {
+		m, err := BuildMissMatrixCtx(ctx, suites[i], l1Sizes, l2Sizes, n)
 		if err != nil {
 			return nil, fmt.Errorf("sim: workload %s: %w", suites[i].Name, err)
 		}

@@ -16,9 +16,17 @@
 //     earliest candidate still wins ties;
 //   - randomized work re-seeds per shard (e.g. one trace generator per L1
 //     size) instead of sharing one mutable RNG stream.
+//
+// The engine is context-first: MapCtx/EachCtx stop scheduling when the
+// context is cancelled and report ctx.Err() joined after any per-item
+// errors, and Stream delivers results in input order over a channel with
+// bounded buffering for result sets too large to hold in memory. Map and
+// Each are thin wrappers over context.Background() for callers that do not
+// need cancellation.
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,18 +42,60 @@ func Workers(n int) int {
 	return n
 }
 
+// Progress observes fan-out completion: it is called once per completed
+// item with the number of items done so far and the total. The count is
+// maintained atomically, but calls may arrive concurrently from worker
+// goroutines (Stream serializes them on the emitter); implementations that
+// write shared state must synchronize.
+type Progress func(done, total int)
+
+// itemErr wraps one failed item with its input index in the engine's
+// canonical format. Every path — sequential, parallel, streaming — reports
+// failures through this wrapper so error text never depends on the worker
+// count that observed the failure.
+func itemErr(i int, err error) error {
+	return fmt.Errorf("sweep: item %d: %w", i, err)
+}
+
+// joinErrs folds per-item errors (indexed by input position) and an
+// optional context error into one error: item errors first in input order,
+// the context error last.
+func joinErrs(errs []error, ctxErr error) error {
+	all := make([]error, 0, len(errs)+1)
+	for _, e := range errs {
+		if e != nil {
+			all = append(all, e)
+		}
+	}
+	if ctxErr != nil {
+		all = append(all, ctxErr)
+	}
+	return errors.Join(all...)
+}
+
 // Map runs fn(0..n-1) across at most workers goroutines and returns the
 // results in input order. With workers <= 1 (or n <= 1) it degenerates to a
 // plain loop, so single-threaded runs pay no synchronization cost.
 //
 // On error the sweep stops scheduling new items and Map returns every error
-// observed, joined in input order; already-running items finish first.
-// Which items got to run (and therefore the error text) can depend on the
-// worker count — the identical-output guarantee covers success results
-// only. A panic in fn is re-raised on the calling goroutine.
+// observed, each wrapped as "sweep: item %d: ..." and joined in input
+// order; already-running items finish first. Which items got to run (and
+// therefore the error text) can depend on the worker count — the
+// identical-output guarantee covers success results only. A panic in fn is
+// re-raised on the calling goroutine.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cancellation: it stops scheduling new items once ctx
+// is done (already-running items finish first) and returns ctx's error
+// joined after any per-item errors. fn receives ctx so long-running items
+// can return early too. With a background context it is exactly Map.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -54,9 +104,12 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			if err := ctx.Err(); err != nil {
+				return nil, joinErrs(nil, err)
+			}
+			v, err := fn(ctx, i)
 			if err != nil {
-				return nil, fmt.Errorf("sweep: item %d: %w", i, err)
+				return nil, joinErrs([]error{itemErr(i, err)}, ctx.Err())
 			}
 			out[i] = v
 		}
@@ -71,6 +124,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		panicV  any
 		wg      sync.WaitGroup
 	)
+	done := ctx.Done()
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
@@ -86,13 +140,18 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				}
 			}()
 			for !failed.Load() {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(ctx, i)
 				if err != nil {
-					errs[i] = fmt.Errorf("sweep: item %d: %w", i, err)
+					errs[i] = itemErr(i, err)
 					failed.Store(true)
 					return
 				}
@@ -104,8 +163,8 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if panicV != nil {
 		panic(panicV)
 	}
-	if failed.Load() {
-		return nil, errors.Join(errs...)
+	if failed.Load() || ctx.Err() != nil {
+		return nil, joinErrs(errs, ctx.Err())
 	}
 	return out, nil
 }
@@ -114,6 +173,14 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 func Each(n, workers int, fn func(i int) error) error {
 	_, err := Map(n, workers, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// EachCtx is MapCtx for side-effect-only work.
+func EachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapCtx(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
 	})
 	return err
 }
@@ -146,11 +213,13 @@ func Shards(n, k int) []Range {
 	return out
 }
 
-// memoEntry is one singleflight slot of a Memo.
+// memoEntry is one singleflight slot of a Memo. Its mutex doubles as the
+// wait point for concurrent callers of the same key.
 type memoEntry[V any] struct {
-	once sync.Once
-	val  V
-	err  error
+	mu      sync.Mutex
+	settled bool
+	val     V
+	err     error
 }
 
 // Memo is a concurrent memoization map: Do builds each key exactly once,
@@ -163,8 +232,10 @@ type Memo[K comparable, V any] struct {
 }
 
 // Do returns the memoized value for key, invoking build on first use.
-// Errors are memoized too: builds here are deterministic, so retrying a
-// failed build would only repeat the failure.
+// Deterministic failures are memoized too — retrying them would only
+// repeat the failure — but context cancellation is not: a build aborted by
+// a cancelled run must not poison the cache for later, uncancelled
+// callers, so the next Do for the key rebuilds.
 func (mo *Memo[K, V]) Do(key K, build func() (V, error)) (V, error) {
 	mo.mu.Lock()
 	if mo.m == nil {
@@ -176,6 +247,17 @@ func (mo *Memo[K, V]) Do(key K, build func() (V, error)) (V, error) {
 		mo.m[key] = e
 	}
 	mo.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = build() })
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.settled {
+		return e.val, e.err
+	}
+	val, err := build()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		var zero V
+		return zero, err
+	}
+	e.val, e.err, e.settled = val, err, true
 	return e.val, e.err
 }

@@ -1,14 +1,29 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// atBaseline reports whether the goroutine count has returned to within
+// slack of base, retrying briefly: worker goroutines are reaped
+// asynchronously after Map/Stream return.
+func atBaseline(base, slack int) bool {
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= base+slack {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
 
 func TestMapOrdered(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
@@ -91,6 +106,140 @@ func TestMapSequentialFailFast(t *testing.T) {
 	}
 	if calls != 4 {
 		t.Fatalf("sequential map ran %d items after error, want fail-fast at 4", calls)
+	}
+}
+
+// TestMapErrorFormatConsistent pins the error wrapping contract: the
+// sequential fast path and the parallel path produce the same
+// "sweep: item %d: ..." text, and multiple failures join in input order.
+func TestMapErrorFormatConsistent(t *testing.T) {
+	boom := errors.New("boom")
+	_, seqErr := Map(10, 1, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if seqErr == nil || seqErr.Error() != "sweep: item 3: boom" {
+		t.Fatalf("sequential error = %v, want %q", seqErr, "sweep: item 3: boom")
+	}
+	if !errors.Is(seqErr, boom) {
+		t.Fatalf("sequential error chain lost: %v", seqErr)
+	}
+
+	// Parallel: both items start before either fails (the barrier guarantees
+	// it), so both errors are observed and must join in input order.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	_, parErr := Map(2, 2, func(i int) (int, error) {
+		barrier.Done()
+		barrier.Wait()
+		return 0, fmt.Errorf("fail-%d", i)
+	})
+	want := "sweep: item 0: fail-0\nsweep: item 1: fail-1"
+	if parErr == nil || parErr.Error() != want {
+		t.Fatalf("parallel error = %q, want %q", parErr, want)
+	}
+}
+
+func TestMapCtxCancelPrompt(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	go func() {
+		<-started
+		cancel()
+	}()
+	var ran atomic.Int64
+	const n = 1000
+	_, err := MapCtx(ctx, n, 4, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		if i < 4 {
+			// The first wave blocks until cancellation reaches it: a
+			// cancelled sweep must not wait for unscheduled items.
+			<-ctx.Done()
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry context.Canceled: %v", err)
+	}
+	if got := ran.Load(); got == n {
+		t.Fatalf("cancellation did not stop scheduling: all %d items ran", n)
+	}
+	if !atBaseline(base, 2) {
+		t.Fatalf("goroutines leaked: %d now vs %d at baseline", runtime.NumGoroutine(), base)
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 50, 1, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled sweep still ran %d items", ran.Load())
+	}
+}
+
+func TestMapCtxJoinsItemAndCtxErrors(t *testing.T) {
+	// Sequential path: a failing item on an already-expiring context must
+	// surface both the item error and the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 5, 1, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want both item and ctx errors, got %v", err)
+	}
+}
+
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	want, _ := Map(20, 4, func(i int) (int, error) { return i * 3, nil })
+	got, err := MapCtx(context.Background(), 20, 4, func(_ context.Context, i int) (int, error) { return i * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("MapCtx diverged from Map at %d", i)
+		}
+	}
+}
+
+func TestEachCtx(t *testing.T) {
+	var sum atomic.Int64
+	if err := EachCtx(context.Background(), 100, 8, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := EachCtx(ctx, 10, 2, func(_ context.Context, i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
@@ -203,6 +352,28 @@ func TestMemoErrorCached(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("failed build retried: %d calls", calls)
+	}
+}
+
+func TestMemoCancelledBuildRetried(t *testing.T) {
+	var m Memo[int, int]
+	calls := 0
+	if _, err := m.Do(1, func() (int, error) { calls++; return 0, context.Canceled }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	v, err := m.Do(1, func() (int, error) { calls++; return 99, nil })
+	if err != nil || v != 99 {
+		t.Fatalf("rebuild after cancellation: v=%d err=%v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("cancelled build not retried: %d calls", calls)
+	}
+	// A deterministic (non-ctx) failure stays memoized.
+	if _, err := m.Do(1, func() (int, error) { calls++; return 0, errors.New("nope") }); err != nil {
+		t.Fatalf("settled value lost: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("settled key rebuilt: %d calls", calls)
 	}
 }
 
