@@ -2,10 +2,11 @@ GO ?= go
 
 .PHONY: ci vet staticcheck build test race bench bench-compile golden
 
-# ci is the gate: vet, build, race-enabled tests, and a one-iteration pass
-# over every benchmark as a compile-and-run check. (CI additionally runs
-# staticcheck; see .github/workflows/ci.yml.)
-ci: vet build race bench-compile
+# ci is the gate: vet, staticcheck, build, race-enabled tests, and a
+# one-iteration pass over every benchmark as a compile-and-run check — the
+# same chain .github/workflows/ci.yml runs, so a green `make ci` means a
+# green CI run.
+ci: vet staticcheck build race bench-compile
 
 # staticcheck runs the linter when it is installed (CI installs it; local
 # boxes may not have it). Findings fail the target; only a missing binary

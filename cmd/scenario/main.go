@@ -9,6 +9,13 @@
 // as each scenario completes) instead of one buffered JSON document, so
 // arbitrarily large batches never accumulate in memory.
 //
+// With -checkpoint (batch + -stream only), every completed line is also
+// appended to a journal keyed by a content hash of the batch; adding
+// -resume replays that journal on startup, skips (and does not re-emit)
+// finished scenarios, and refuses to resume against a different batch — so
+// a killed run restarted with the same command line completes exactly the
+// remainder. The journal is the authoritative record of completed lines.
+//
 // SIGINT/SIGTERM cancel the run cleanly: in-flight scenarios stop
 // mid-simulation, a partial-progress note goes to stderr, and the process
 // exits 130. -timeout bounds the whole run the same way.
@@ -18,6 +25,7 @@
 //	scenario -f study.json
 //	scenario -f examples/scenarios.json -workers 4
 //	scenario -f examples/scenarios.json -stream -progress
+//	scenario -f examples/scenarios.json -stream -checkpoint run.journal -resume
 //	scenario -f examples/scenarios.json -timeout 10m
 //	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
 //
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/dist/journal"
 	"repro/internal/scenario"
 )
 
@@ -54,11 +63,13 @@ func main() {
 
 // options are the scenario flags.
 type options struct {
-	file     string
-	workers  int
-	stream   bool
-	progress bool
-	timeout  time.Duration
+	file       string
+	workers    int
+	stream     bool
+	progress   bool
+	checkpoint string
+	resume     bool
+	timeout    time.Duration
 }
 
 func registerFlags(fs *flag.FlagSet, o *options) {
@@ -66,6 +77,8 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios in batch mode (0 = GOMAXPROCS)")
 	fs.BoolVar(&o.stream, "stream", false, "emit batch results as NDJSON, one line per scenario as it completes")
 	fs.BoolVar(&o.progress, "progress", false, "report per-scenario completion on stderr")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed scenarios to this file (batch mode with -stream)")
+	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and run only unfinished scenarios")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
 }
 
@@ -104,6 +117,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	prog := cli.NewProgress("scenario", "scenarios", tickerW)
 
+	if o.resume && o.checkpoint == "" {
+		fmt.Fprintln(stderr, "scenario: -resume requires -checkpoint")
+		return 2
+	}
+	if o.checkpoint != "" && !o.stream {
+		fmt.Fprintln(stderr, "scenario: -checkpoint requires -stream (the journal records NDJSON lines)")
+		return 2
+	}
+
 	if scenario.IsBatch(data) {
 		b, err := scenario.LoadBatch(bytes.NewReader(data))
 		if err != nil {
@@ -111,6 +133,26 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return 1
 		}
 		opts := scenario.StreamOptions{Workers: o.workers, Progress: prog.Hook()}
+		if o.checkpoint != "" {
+			h, err := b.JournalHeader()
+			if err != nil {
+				fmt.Fprintln(stderr, "scenario:", err)
+				return 1
+			}
+			jr, done, err := journal.Open(o.checkpoint, h, o.resume)
+			if err != nil {
+				fmt.Fprintln(stderr, "scenario:", err)
+				return 1
+			}
+			defer jr.Close()
+			if len(done) > 0 {
+				fmt.Fprintf(stderr, "scenario: resuming, %d/%d scenarios already journaled\n", len(done), len(b.Scenarios))
+			}
+			if err := scenario.StreamNDJSONCheckpointed(ctx, b, opts, stdout, jr, done); err != nil {
+				return cli.Report("scenario", err, prog, stderr)
+			}
+			return 0
+		}
 		if o.stream {
 			if err := scenario.StreamNDJSON(ctx, b, opts, stdout); err != nil {
 				return cli.Report("scenario", err, prog, stderr)
@@ -128,6 +170,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		fmt.Fprintln(stdout, out)
 		return 0
+	}
+
+	if o.checkpoint != "" {
+		fmt.Fprintln(stderr, "scenario: -checkpoint requires a batch input (a top-level \"scenarios\" array)")
+		return 2
 	}
 
 	cfg, err := scenario.Load(bytes.NewReader(data))

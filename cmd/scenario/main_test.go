@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -173,5 +175,111 @@ func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(t.Context(), []string{"-definitely-not-a-flag"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// twoScenarioBatch is a batch whose full streamed output the checkpoint
+// tests compare against.
+const twoScenarioBatch = `{"scenarios":[` + tinyScenario +
+	`,{"name":"second","l1_kb":16,"l2_kb":512,"workload":"tpcc","accesses":20000}` +
+	`,{"name":"third","l1_kb":32,"l2_kb":256,"workload":"tpcc","accesses":20000}]}`
+
+// TestRunCheckpointResume simulates the kill/restart cycle: a checkpointed
+// run whose journal stops after the first scenario (with a torn final
+// line, as a kill mid-append leaves) is restarted with -resume; the
+// restarted run re-emits nothing already journaled, completes the
+// remainder, and prefix + remainder equals the uncheckpointed stream.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.journal")
+
+	// Reference: the full stream, no checkpointing.
+	var full bytes.Buffer
+	if code := run(t.Context(), []string{"-stream"}, strings.NewReader(twoScenarioBatch), &full, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("reference run: exit %d", code)
+	}
+	lines := strings.SplitAfter(full.String(), "\n")
+	if len(lines) != 4 || lines[3] != "" {
+		t.Fatalf("reference run produced %d lines", len(lines)-1)
+	}
+
+	// First checkpointed run (completes everything).
+	var first bytes.Buffer
+	code := run(t.Context(), []string{"-stream", "-checkpoint", jpath}, strings.NewReader(twoScenarioBatch), &first, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("checkpointed run: exit %d", code)
+	}
+	if first.String() != full.String() {
+		t.Errorf("checkpointed output differs from plain stream:\n got: %q\nwant: %q", first.String(), full.String())
+	}
+
+	// Simulate the kill: cut the journal back to header + first entry and
+	// tear a partial second entry, as a crash mid-append would.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.SplitAfter(string(data), "\n")
+	torn := jlines[0] + jlines[1] + `{"i":1,"line":{"name":"sec`
+	if err := os.WriteFile(jpath, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with -resume: nothing journaled is re-emitted.
+	var resumed, stderr bytes.Buffer
+	code = run(t.Context(), []string{"-stream", "-checkpoint", jpath, "-resume"}, strings.NewReader(twoScenarioBatch), &resumed, &stderr)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if want := lines[1] + lines[2]; resumed.String() != want {
+		t.Errorf("resumed run must emit exactly the remainder:\n got: %q\nwant: %q", resumed.String(), want)
+	}
+	if !strings.Contains(stderr.String(), "resuming, 1/3 scenarios already journaled") {
+		t.Errorf("missing resume diagnostic: %q", stderr.String())
+	}
+
+	// A second resume has nothing left to do and emits nothing.
+	var empty bytes.Buffer
+	code = run(t.Context(), []string{"-stream", "-checkpoint", jpath, "-resume"}, strings.NewReader(twoScenarioBatch), &empty, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("no-op resume: exit %d", code)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("fully journaled batch re-emitted %q", empty.String())
+	}
+}
+
+// TestRunResumeRefusesDifferentBatch pins the safety check: resuming a
+// journal against a batch that hashes differently fails loudly.
+func TestRunResumeRefusesDifferentBatch(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.journal")
+	batchA := `{"scenarios":[` + tinyScenario + `]}`
+	if code := run(t.Context(), []string{"-stream", "-checkpoint", jpath}, strings.NewReader(batchA), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("seed run failed")
+	}
+	batchB := `{"scenarios":[{"name":"other","l1_kb":64,"l2_kb":1024,"workload":"tpcc","accesses":20000}]}`
+	var stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-checkpoint", jpath, "-resume"}, strings.NewReader(batchB), &bytes.Buffer{}, &stderr); code != 1 {
+		t.Fatalf("mismatched resume: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "batch hash mismatch") {
+		t.Errorf("missing hash-mismatch diagnostic: %q", stderr.String())
+	}
+}
+
+// TestRunCheckpointFlagValidation pins the flag contract.
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-resume"}, strings.NewReader(tinyScenario), &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-resume without -checkpoint: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(t.Context(), []string{"-checkpoint", "x.journal"}, strings.NewReader(tinyScenario), &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-checkpoint without -stream: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(t.Context(), []string{"-stream", "-checkpoint", filepath.Join(t.TempDir(), "x.journal")}, strings.NewReader(tinyScenario), &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-checkpoint with single-scenario input: exit %d, want 2", code)
 	}
 }

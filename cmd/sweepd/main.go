@@ -1,0 +1,252 @@
+// Command sweepd distributes a scenario sweep across processes and
+// machines: `sweepd serve` coordinates — it splits the batch into work
+// units, leases them to workers over HTTP, and writes the reassembled
+// NDJSON results to stdout in input order, byte-identical to what
+// `scenario -stream` would emit for the same batch — and `sweepd work`
+// executes: it leases units from a coordinator, runs them, and reports the
+// result lines, until the batch is done. Run one serve and as many work
+// processes as you have cores and machines.
+//
+// The coordinator is crash-tolerant on both sides: a worker that dies
+// mid-unit loses only its lease (the unit is re-leased when the lease
+// expires), and with -checkpoint the coordinator journals every completed
+// line so `serve -resume` after a kill completes exactly the remainder —
+// against the same journal format `scenario -checkpoint` writes.
+//
+// SIGINT/SIGTERM end either process cleanly (exit 130); -timeout bounds a
+// run the same way.
+//
+// Usage:
+//
+//	sweepd serve -f examples/scenarios.json -addr :8080
+//	sweepd serve -f big.json -units 64 -checkpoint big.journal -resume > results.ndjson
+//	sweepd work -coordinator http://host:8080
+//	sweepd work -coordinator http://host:8080 -workers 4 -progress
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/dist"
+	"repro/internal/dist/journal"
+	"repro/internal/scenario"
+)
+
+func main() {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommands; it is the testable entry point.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	return cli.Dispatch(ctx, "sweepd", []cli.Command{
+		{Name: "serve", Summary: "coordinate a distributed sweep and emit ordered NDJSON results", Run: runServe},
+		{Name: "work", Summary: "lease and execute work units from a coordinator", Run: runWork},
+	}, args, stdin, stdout, stderr)
+}
+
+// serveOptions are the coordinator flags.
+type serveOptions struct {
+	file       string
+	addr       string
+	units      int
+	lease      time.Duration
+	checkpoint string
+	resume     bool
+	progress   bool
+	timeout    time.Duration
+}
+
+func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepd serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o serveOptions
+	fs.StringVar(&o.file, "f", "", "scenario JSON file, single or batch (default stdin)")
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address for the worker protocol")
+	fs.IntVar(&o.units, "units", 0, "work units to split the batch into (0 = GOMAXPROCS); more units = finer re-lease granularity")
+	fs.DurationVar(&o.lease, "lease", 30*time.Second, "lease TTL; a worker silent this long forfeits its unit")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed lines to this file")
+	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and serve only unfinished work")
+	fs.BoolVar(&o.progress, "progress", false, "report per-scenario completion on stderr")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.resume && o.checkpoint == "" {
+		fmt.Fprintln(stderr, "sweepd: -resume requires -checkpoint")
+		return 2
+	}
+	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
+	defer cancel()
+
+	b, err := loadBatch(o.file, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	spec, err := dist.ScenarioSpec(b)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+
+	var tickerW io.Writer
+	if o.progress {
+		tickerW = stderr
+	}
+	prog := cli.NewProgress("sweepd", "scenarios", tickerW)
+	cfg := dist.Config{Units: o.units, LeaseTTL: o.lease, Progress: prog.Hook()}
+
+	if o.checkpoint != "" {
+		h := journal.Header{Kind: dist.KindScenarioBatch, BatchSHA256: spec.Hash, N: spec.N}
+		jr, done, err := journal.Open(o.checkpoint, h, o.resume)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		defer jr.Close()
+		if len(done) > 0 {
+			fmt.Fprintf(stderr, "sweepd: resuming, %d/%d scenarios already journaled\n", len(done), spec.N)
+		}
+		cfg.Journal, cfg.Done = jr, done
+	}
+
+	c, err := dist.New(ctx, spec, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	defer srv.Close()
+	// Serve returns ErrServerClosed when the deferred Close runs; the
+	// coordinator's Wait is the run's real verdict.
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "sweepd: serving %d scenarios on http://%s\n", spec.N, ln.Addr())
+
+	var writeErr error
+	for line := range c.Results() {
+		if writeErr != nil {
+			continue // post-cancel drain
+		}
+		if _, err := stdout.Write(append(line, '\n')); err != nil {
+			writeErr = err
+			cancel()
+		}
+	}
+	err = c.Wait()
+	if writeErr != nil {
+		// The wait error is the cancellation this function triggered; the
+		// write failure (e.g. a broken pipe) is the root cause.
+		fmt.Fprintln(stderr, "sweepd:", writeErr)
+		return 1
+	}
+	if err != nil {
+		return cli.Report("sweepd", err, prog, stderr)
+	}
+	return 0
+}
+
+// workOptions are the worker flags.
+type workOptions struct {
+	coordinator string
+	id          string
+	workers     int
+	poll        time.Duration
+	progress    bool
+	timeout     time.Duration
+}
+
+func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepd work", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o workOptions
+	fs.StringVar(&o.coordinator, "coordinator", "", "coordinator base URL, e.g. http://host:8080 (required)")
+	fs.StringVar(&o.id, "id", "", "worker id (default hostname-pid)")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios within a unit (0 = GOMAXPROCS)")
+	fs.DurationVar(&o.poll, "poll", 200*time.Millisecond, "delay between lease attempts when the coordinator has nothing free")
+	fs.BoolVar(&o.progress, "progress", false, "report per-unit completion on stderr")
+	fs.DurationVar(&o.timeout, "timeout", 0, "stop working after this duration (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.coordinator == "" {
+		fmt.Fprintln(stderr, "sweepd: work requires -coordinator")
+		return 2
+	}
+	if o.id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		o.id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
+	defer cancel()
+
+	w := &dist.Worker{
+		Coordinator: o.coordinator,
+		ID:          o.id,
+		Exec:        dist.ScenarioExecutor(o.workers),
+		Poll:        o.poll,
+	}
+	if o.progress {
+		w.OnUnit = func(u dist.Unit) {
+			fmt.Fprintf(stderr, "sweepd: %s finished unit %d (scenarios %d-%d)\n", o.id, u.ID, u.Range.Lo, u.Range.Hi-1)
+		}
+	}
+	if err := w.Run(ctx); err != nil {
+		if errors.Is(err, dist.ErrCoordinatorGone) {
+			// The serve process exits the moment the last line is emitted;
+			// an idle worker discovering that is the normal end of a sweep.
+			fmt.Fprintf(stderr, "sweepd: %s: coordinator gone, assuming the sweep ended\n", o.id)
+			return 0
+		}
+		prog := cli.NewProgress("sweepd", "units", nil)
+		return cli.Report("sweepd", err, prog, stderr)
+	}
+	fmt.Fprintf(stderr, "sweepd: %s done\n", o.id)
+	return 0
+}
+
+// loadBatch reads a scenario document (single config or batch) and returns
+// it as a batch — a single config becomes a batch of one, so sweepd serves
+// any input `scenario` accepts.
+func loadBatch(file string, stdin io.Reader) (scenario.Batch, error) {
+	var r io.Reader = stdin
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return scenario.Batch{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return scenario.Batch{}, err
+	}
+	if scenario.IsBatch(data) {
+		return scenario.LoadBatch(bytes.NewReader(data))
+	}
+	cfg, err := scenario.Load(bytes.NewReader(data))
+	if err != nil {
+		return scenario.Batch{}, err
+	}
+	return scenario.Batch{Scenarios: []scenario.Config{cfg}}, nil
+}

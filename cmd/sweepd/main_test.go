@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+const testBatch = `{"scenarios":[
+	{"name":"a","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":20000},
+	{"name":"b","l1_kb":16,"l2_kb":512,"workload":"tpcc","accesses":20000},
+	{"name":"c","l1_kb":32,"l2_kb":256,"workload":"tpcc","accesses":20000}
+]}`
+
+// syncBuffer lets the test read a buffer that serve's goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var servingRE = regexp.MustCompile(`serving \d+ scenarios on (http://[^\s]+)`)
+
+// startServe launches `sweepd serve` in a goroutine on an ephemeral port
+// and returns the coordinator URL plus a wait func for (exit code, stdout).
+func startServe(t *testing.T, ctx context.Context, args []string, stdin string) (string, func() (int, string)) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("serve stderr:\n%s", stderr.String())
+		}
+	})
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, append([]string{"serve", "-addr", "127.0.0.1:0"}, args...), strings.NewReader(stdin), stdout, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := servingRE.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1], func() (int, string) {
+				select {
+				case c := <-code:
+					return c, stdout.String()
+				case <-time.After(30 * time.Second):
+					t.Fatalf("serve did not exit; stderr:\n%s", stderr.String())
+					return -1, ""
+				}
+			}
+		}
+		select {
+		case c := <-code:
+			t.Fatalf("serve exited %d before listening; stderr:\n%s", c, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never announced its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runWork runs one `sweepd work` loop to completion.
+func runWorkCmd(t *testing.T, ctx context.Context, url, id string) int {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"work", "-coordinator", url, "-id", id, "-workers", "1", "-poll", "10ms"}, strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Logf("worker %s stderr:\n%s", id, stderr.String())
+	}
+	return code
+}
+
+// TestServeWorkMatchesSequentialStream is the end-to-end acceptance check
+// at the binary level: serve + two work loops produce byte-identical
+// NDJSON to the sequential in-process stream of the same batch.
+func TestServeWorkMatchesSequentialStream(t *testing.T) {
+	b, err := scenario.LoadBatch(strings.NewReader(testBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := scenario.StreamNDJSON(t.Context(), b, scenario.StreamOptions{Workers: 1}, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := t.Context()
+	url, wait := startServe(t, ctx, []string{"-units", "3"}, testBatch)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if code := runWorkCmd(t, ctx, url, id); code != 0 {
+				t.Errorf("worker %s: exit %d", id, code)
+			}
+		}(fmt.Sprintf("w%d", i))
+	}
+	wg.Wait()
+	code, stdout := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+	if stdout != want.String() {
+		t.Errorf("distributed output differs from sequential:\n got: %q\nwant: %q", stdout, want.String())
+	}
+}
+
+// TestServeCheckpointResume restarts a checkpointed serve against a
+// journal cut back to one completed scenario and checks the resumed serve
+// emits exactly the remainder.
+func TestServeCheckpointResume(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "serve.journal")
+	ctx := t.Context()
+
+	// First serve completes the whole batch, journaling it.
+	url, wait := startServe(t, ctx, []string{"-units", "3", "-checkpoint", jpath}, testBatch)
+	if code := runWorkCmd(t, ctx, url, "w0"); code != 0 {
+		t.Fatalf("worker: exit %d", code)
+	}
+	code, full := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+	lines := strings.SplitAfter(full, "\n")
+	if len(lines) != 4 || lines[3] != "" {
+		t.Fatalf("serve emitted %d lines", len(lines)-1)
+	}
+
+	// Kill simulation: journal keeps only the header and first entry.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.SplitAfter(string(data), "\n")
+	if err := os.WriteFile(jpath, []byte(jlines[0]+jlines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	url, wait = startServe(t, ctx, []string{"-units", "3", "-checkpoint", jpath, "-resume"}, testBatch)
+	if code := runWorkCmd(t, ctx, url, "w1"); code != 0 {
+		t.Fatalf("resume worker: exit %d", code)
+	}
+	code, resumed := wait()
+	if code != 0 {
+		t.Fatalf("resumed serve: exit %d", code)
+	}
+	if want := lines[1] + lines[2]; resumed != want {
+		t.Errorf("resumed serve must emit only the remainder:\n got: %q\nwant: %q", resumed, want)
+	}
+}
+
+// TestFlagAndDispatchErrors pins the CLI error contract.
+func TestFlagAndDispatchErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), nil, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("no subcommand: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "serve") || !strings.Contains(stderr.String(), "work") {
+		t.Errorf("usage must list subcommands:\n%s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(t.Context(), []string{"work"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("work without -coordinator: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-resume"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -resume without -checkpoint: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-f", "/nonexistent.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("missing batch file: exit %d, want 1", code)
+	}
+	if code := run(t.Context(), []string{"bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+}
+
+// TestServeAcceptsSingleConfig checks a single scenario config serves as a
+// batch of one.
+func TestServeAcceptsSingleConfig(t *testing.T) {
+	single := `{"name":"solo","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":20000}`
+	ctx := t.Context()
+	url, wait := startServe(t, ctx, nil, single)
+	if code := runWorkCmd(t, ctx, url, "w0"); code != 0 {
+		t.Fatalf("worker: exit %d", code)
+	}
+	code, stdout := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+	if !strings.Contains(stdout, `"name":"solo"`) || strings.Count(stdout, "\n") != 1 {
+		t.Errorf("unexpected single-config output: %q", stdout)
+	}
+}

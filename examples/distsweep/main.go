@@ -1,0 +1,110 @@
+// Distsweep demonstrates the distributed sweep subsystem end to end, in
+// one process: a coordinator splits the example scenario batch into work
+// units, two workers lease and execute them over loopback HTTP, and the
+// coordinator reassembles the NDJSON results on stdout in input order —
+// byte-identical to what `scenario -stream` emits for the same batch. A
+// checkpoint journal rides along, so a killed run restarted with the same
+// command completes only the remainder.
+//
+//	go run ./examples/distsweep
+//	go run ./examples/distsweep | diff - <(go run ./cmd/scenario -f examples/scenarios.json -stream)
+//
+// Across real machines the same pieces are the sweepd binary:
+//
+//	sweepd serve -f examples/scenarios.json -addr :8080 -checkpoint sweep.journal -resume
+//	sweepd work -coordinator http://host:8080   # on every machine, as many as you like
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/dist"
+	"repro/internal/dist/journal"
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	f, err := os.Open("examples/scenarios.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := scenario.LoadBatch(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The spec tells the coordinator how to shard the batch; its hash pins
+	// the checkpoint journal to exactly this input.
+	spec, err := dist.ScenarioSpec(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jr, done, err := journal.Open("distsweep.journal",
+		journal.Header{Kind: dist.KindScenarioBatch, BatchSHA256: spec.Hash, N: spec.N}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jr.Close()
+	if len(done) > 0 {
+		fmt.Fprintf(os.Stderr, "resuming: %d/%d scenarios already journaled\n", len(done), spec.N)
+	}
+
+	c, err := dist.New(ctx, spec, dist.Config{
+		Units:    4,
+		LeaseTTL: 10 * time.Second,
+		Journal:  jr,
+		Done:     done,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Two workers — in production these are `sweepd work` processes on
+	// other machines; here they share our process and loopback HTTP.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("worker-%d", i)
+		w := &dist.Worker{
+			Coordinator: srv.URL,
+			ID:          id,
+			Exec:        dist.ScenarioExecutor(0),
+			OnUnit: func(u dist.Unit) {
+				fmt.Fprintf(os.Stderr, "%s finished unit %d (scenarios %d-%d)\n", id, u.ID, u.Range.Lo, u.Range.Hi-1)
+			},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			}
+		}()
+	}
+
+	// The coordinator emits assembled lines in input order as the ordered
+	// prefix completes; resumed lines are skipped, not re-emitted.
+	for line := range c.Results() {
+		fmt.Printf("%s\n", line)
+	}
+	wg.Wait()
+	if err := c.Wait(); err != nil {
+		if cli.Cancelled(err) {
+			log.Fatal("cancelled; the journal keeps what finished — rerun to resume")
+		}
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "sweep complete; remove distsweep.journal to rerun from scratch")
+}

@@ -102,6 +102,47 @@ func (p *Progress) Note() string {
 	return fmt.Sprintf("%d/%d %s", p.done, p.total, p.unit)
 }
 
+// Command is one subcommand of a multi-command binary (sweepd serve /
+// sweepd work). Run receives everything a top-level run func receives; the
+// subcommand name has already been stripped from args.
+type Command struct {
+	// Name is the subcommand as typed on the command line.
+	Name string
+	// Summary is the one-line usage description.
+	Summary string
+	// Run executes the subcommand and returns the exit status.
+	Run func(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int
+}
+
+// Dispatch routes args[0] to its Command. A missing, unknown, or help
+// subcommand prints the command list to stderr and returns 2 (matching the
+// flag-error convention of the single-command binaries).
+func Dispatch(ctx context.Context, name string, cmds []Command, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	usage := func() {
+		fmt.Fprintf(stderr, "usage: %s <command> [flags]\n\ncommands:\n", name)
+		for _, c := range cmds {
+			fmt.Fprintf(stderr, "  %-8s %s\n", c.Name, c.Summary)
+		}
+	}
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	sub := args[0]
+	if sub == "help" || sub == "-h" || sub == "-help" || sub == "--help" {
+		usage()
+		return 2
+	}
+	for _, c := range cmds {
+		if c.Name == sub {
+			return c.Run(ctx, args[1:], stdin, stdout, stderr)
+		}
+	}
+	fmt.Fprintf(stderr, "%s: unknown command %q\n", name, sub)
+	usage()
+	return 2
+}
+
 // Report writes the standard diagnostics for a fatal run error — the error
 // itself, a timeout note, and the partial-progress state — and returns the
 // exit status. name is the binary's diagnostic prefix.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -119,5 +121,46 @@ func TestReport(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "timed out after 2/5 scenarios") {
 		t.Fatalf("missing timeout note:\n%s", buf.String())
+	}
+}
+
+func TestDispatch(t *testing.T) {
+	cmds := []Command{
+		{Name: "serve", Summary: "coordinate a sweep", Run: func(ctx context.Context, args []string, _ io.Reader, stdout, _ io.Writer) int {
+			fmt.Fprintf(stdout, "serve %v", args)
+			return 0
+		}},
+		{Name: "work", Summary: "execute leased units", Run: func(context.Context, []string, io.Reader, io.Writer, io.Writer) int {
+			return 7
+		}},
+	}
+	var stdout, stderr bytes.Buffer
+
+	if code := Dispatch(context.Background(), "sweepd", cmds, []string{"serve", "-x"}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("serve: exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != "serve [-x]" {
+		t.Errorf("subcommand args not forwarded: %q", stdout.String())
+	}
+	if code := Dispatch(context.Background(), "sweepd", cmds, []string{"work"}, nil, &stdout, &stderr); code != 7 {
+		t.Errorf("work: exit %d, want 7", code)
+	}
+
+	stderr.Reset()
+	if code := Dispatch(context.Background(), "sweepd", cmds, nil, nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no subcommand: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "serve") || !strings.Contains(stderr.String(), "coordinate a sweep") {
+		t.Errorf("usage should list commands:\n%s", stderr.String())
+	}
+	stderr.Reset()
+	if code := Dispatch(context.Background(), "sweepd", cmds, []string{"bogus"}, nil, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown command "bogus"`) {
+		t.Errorf("missing unknown-command diagnostic:\n%s", stderr.String())
+	}
+	if code := Dispatch(context.Background(), "sweepd", cmds, []string{"help"}, nil, &stdout, &stderr); code != 2 {
+		t.Errorf("help: exit %d, want 2", code)
 	}
 }

@@ -1,0 +1,442 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dist/journal"
+	"repro/internal/sweep"
+)
+
+// Unit lease lifecycle. A unit leaves done only never — results are
+// idempotent — and returns from leased to pending when its lease expires.
+const (
+	unitPending = iota
+	unitLeased
+	unitDone
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Units is the number of work units to split the batch into
+	// (0 = GOMAXPROCS, capped at the item count). More units than workers
+	// gives finer re-lease granularity when a worker dies; fewer amortizes
+	// per-unit HTTP overhead.
+	Units int
+	// LeaseTTL is how long a worker may hold a unit without heartbeating
+	// before it is handed to someone else (0 = 30s).
+	LeaseTTL time.Duration
+	// RetryAfter is the backoff hint returned when all remaining units are
+	// leased (0 = 200ms).
+	RetryAfter time.Duration
+	// Journal, when non-nil, records every completed line so a restarted
+	// coordinator can resume (pass the replayed lines as Done).
+	Journal *journal.Journal
+	// Done carries the lines a previous run already completed, keyed by
+	// input index (journal replay). Covered indices are never re-executed
+	// and never re-emitted.
+	Done map[int]json.RawMessage
+	// Progress, when non-nil, observes emission: it is called once per
+	// line emitted by this run with (lines emitted, lines this run must
+	// emit), serialized on the emitter goroutine. Indices replayed from a
+	// checkpoint are excluded from both numbers — a resumed run counts
+	// only the remainder it actually executes.
+	Progress sweep.Progress
+}
+
+// unitState is the coordinator-side lease bookkeeping for one unit.
+type unitState struct {
+	unit     Unit
+	state    int
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator owns a batch: it leases units to workers, collects their
+// NDJSON result lines, journals them, and emits them in input order.
+// Create with New, expose Handler to workers, drain Results, then Wait.
+type Coordinator struct {
+	spec  Spec
+	ttl   time.Duration
+	retry time.Duration
+
+	mu        sync.Mutex
+	units     []*unitState
+	lines     [][]byte // per input index; nil until completed
+	remaining int      // indices not yet completed
+	unitsDone int
+	failure   error
+	jr        *journal.Journal
+
+	signal   chan struct{} // wakes the emitter; capacity 1
+	out      chan []byte
+	finished chan struct{}
+	finalErr error
+	done     <-chan struct{} // the run context
+}
+
+// New splits the spec into units and starts the ordered emitter. The
+// context governs the whole distributed run: cancelling it stops emission,
+// makes Wait return its error, and turns every subsequent lease response
+// into done so workers exit.
+func New(ctx context.Context, spec Spec, cfg Config) (*Coordinator, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("dist: batch has no items")
+	}
+	if spec.Payload == nil {
+		return nil, fmt.Errorf("dist: spec has no payload renderer")
+	}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	retry := cfg.RetryAfter
+	if retry <= 0 {
+		retry = 200 * time.Millisecond
+	}
+	c := &Coordinator{
+		spec:      spec,
+		ttl:       ttl,
+		retry:     retry,
+		lines:     make([][]byte, spec.N),
+		remaining: spec.N,
+		jr:        cfg.Journal,
+		signal:    make(chan struct{}, 1),
+		out:       make(chan []byte),
+		finished:  make(chan struct{}),
+		done:      ctx.Done(),
+	}
+	for i, line := range cfg.Done {
+		if i < 0 || i >= spec.N {
+			return nil, fmt.Errorf("dist: resumed index %d out of range [0, %d)", i, spec.N)
+		}
+		c.lines[i] = line
+		c.remaining--
+	}
+	for _, r := range sweep.Shards(spec.N, cfg.Units) {
+		payload, err := spec.Payload(r)
+		if err != nil {
+			return nil, fmt.Errorf("dist: rendering unit payload for [%d, %d): %w", r.Lo, r.Hi, err)
+		}
+		u := &unitState{unit: Unit{ID: len(c.units), Range: r, Kind: spec.Kind, Payload: payload}}
+		if c.rangeDone(r) {
+			u.state = unitDone
+			c.unitsDone++
+		}
+		c.units = append(c.units, u)
+	}
+	go c.emit(ctx, cfg.Progress)
+	return c, nil
+}
+
+// rangeDone reports whether every index of r already has a line (replayed
+// from a checkpoint). Callers hold mu or have exclusive access.
+func (c *Coordinator) rangeDone(r sweep.Range) bool {
+	for i := r.Lo; i < r.Hi; i++ {
+		if c.lines[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Results delivers the batch's NDJSON lines in input order, each line as
+// soon as the ordered prefix through it is complete. The channel closes
+// when the batch ends (complete, failed, or cancelled); drain it, then call
+// Wait for the verdict. Lines replayed from a checkpoint are not
+// re-emitted — a resumed run's output is exactly the remainder.
+func (c *Coordinator) Results() <-chan []byte { return c.out }
+
+// Wait blocks until the batch ends and returns nil on success, the first
+// worker-reported failure, or the run context's error.
+func (c *Coordinator) Wait() error {
+	<-c.finished
+	return c.finalErr
+}
+
+// emit is the ordered emitter: it walks the input indices, forwarding each
+// completed line, sleeping on signal when the next index is still running.
+// Indices completed by a previous run (checkpoint replay) are skipped, not
+// re-emitted.
+func (c *Coordinator) emit(ctx context.Context, progress sweep.Progress) {
+	defer close(c.finished)
+	defer close(c.out)
+	resumed := make(map[int]bool, c.spec.N)
+	c.mu.Lock()
+	for i, line := range c.lines {
+		if line != nil {
+			resumed[i] = true
+		}
+	}
+	c.mu.Unlock()
+	emitted := 0
+	next := 0
+	for {
+		c.mu.Lock()
+		if c.failure != nil {
+			c.finalErr = c.failure
+			c.mu.Unlock()
+			return
+		}
+		var line []byte
+		if next < c.spec.N {
+			line = c.lines[next]
+		}
+		c.mu.Unlock()
+
+		switch {
+		case next == c.spec.N:
+			c.finalErr = nil
+			return
+		case line == nil:
+			select {
+			case <-c.signal:
+			case <-ctx.Done():
+				c.finalErr = ctx.Err()
+				return
+			}
+		case resumed[next]:
+			next++
+		default:
+			select {
+			case c.out <- line:
+				emitted++
+				if progress != nil {
+					progress(emitted, c.spec.N-len(resumed))
+				}
+				next++
+			case <-ctx.Done():
+				c.finalErr = ctx.Err()
+				return
+			}
+		}
+	}
+}
+
+// wake nudges the emitter without blocking (the signal channel holds one
+// pending wake-up; more would be redundant).
+func (c *Coordinator) wake() {
+	select {
+	case c.signal <- struct{}{}:
+	default:
+	}
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/result", c.handleResult)
+	mux.HandleFunc("POST /v1/fail", c.handleFail)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	return mux
+}
+
+// writeJSON renders one protocol response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// shuttingDown reports whether the run context ended or a failure was
+// recorded — in either case no more work is handed out.
+func (c *Coordinator) shuttingDown() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure != nil
+}
+
+// reclaimExpired returns timed-out leases to the pending pool. Callers
+// hold mu.
+func (c *Coordinator) reclaimExpired(now time.Time) {
+	for _, u := range c.units {
+		if u.state == unitLeased && now.After(u.deadline) {
+			u.state = unitPending
+			u.worker = ""
+		}
+	}
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "lease request needs a worker id"})
+		return
+	}
+	if c.shuttingDown() {
+		writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining == 0 {
+		writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
+		return
+	}
+	c.reclaimExpired(now)
+	for _, u := range c.units {
+		if u.state != unitPending {
+			continue
+		}
+		u.state = unitLeased
+		u.worker = req.Worker
+		u.deadline = now.Add(c.ttl)
+		writeJSON(w, http.StatusOK, LeaseResponse{Unit: &u.unit, LeaseTTLMS: c.ttl.Milliseconds()})
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{RetryAfterMS: c.retry.Milliseconds()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed heartbeat"})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Unit < 0 || req.Unit >= len(c.units) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown unit"})
+		return
+	}
+	u := c.units[req.Unit]
+	if u.state != unitLeased || u.worker != req.Worker {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "lease lost"})
+		return
+	}
+	u.deadline = time.Now().Add(c.ttl)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleResult ingests one unit's NDJSON lines. Results are accepted even
+// from a worker whose lease has expired — the work is deterministic, so a
+// late line is as good as the re-leased copy, and per-index idempotency
+// keeps the first arrival.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	unitID, err := strconv.Atoi(r.URL.Query().Get("unit"))
+	if worker == "" || err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "result needs ?worker=ID&unit=N"})
+		return
+	}
+	body, err := readAll(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	lines := splitNDJSON(body)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if unitID < 0 || unitID >= len(c.units) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown unit"})
+		return
+	}
+	u := c.units[unitID]
+	if got, want := len(lines), u.unit.Range.Len(); got != want {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("unit %d wants %d result lines, got %d", unitID, want, got),
+		})
+		return
+	}
+	for k, line := range lines {
+		if !json.Valid(line) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("unit %d result line %d is not JSON", unitID, k),
+			})
+			return
+		}
+	}
+	for k, line := range lines {
+		idx := u.unit.Range.Lo + k
+		if c.lines[idx] != nil {
+			continue // idempotent: first arrival won
+		}
+		if c.jr != nil {
+			if err := c.jr.Record(idx, line); err != nil {
+				// A dying checkpoint must not sink the run: results are
+				// still held in memory, only restartability degrades.
+				c.failure = fmt.Errorf("dist: checkpoint append failed: %w", err)
+				c.wake()
+				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": c.failure.Error()})
+				return
+			}
+		}
+		c.lines[idx] = line
+		c.remaining--
+	}
+	if u.state != unitDone {
+		u.state = unitDone
+		u.worker = ""
+		c.unitsDone++
+	}
+	c.wake()
+	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed failure report"})
+		return
+	}
+	c.mu.Lock()
+	if c.failure == nil {
+		c.failure = fmt.Errorf("dist: unit %d failed on worker %s: %s", req.Unit, req.Worker, req.Error)
+	}
+	c.mu.Unlock()
+	c.wake()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	writeJSON(w, http.StatusOK, Status{
+		Kind:       c.spec.Kind,
+		N:          c.spec.N,
+		ItemsDone:  c.spec.N - c.remaining,
+		UnitsTotal: len(c.units),
+		UnitsDone:  c.unitsDone,
+		Failed:     c.failure != nil,
+	})
+}
+
+// readAll drains a request body with a sanity cap: a unit's NDJSON result
+// is bounded by the batch itself, not attacker-controlled, but a runaway
+// worker should not exhaust coordinator memory.
+func readAll(r *http.Request) ([]byte, error) {
+	const maxResultBody = 256 << 20
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxResultBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading result body: %w", err)
+	}
+	return body, nil
+}
+
+// splitNDJSON splits a result body into its non-empty lines.
+func splitNDJSON(body []byte) [][]byte {
+	var lines [][]byte
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}

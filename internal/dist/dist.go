@@ -1,0 +1,116 @@
+// Package dist distributes a sweep across processes and machines: a
+// coordinator splits an ordered batch into contiguous work units (via
+// sweep.Shards, so unit boundaries follow the same input-ordered shard
+// geometry every ordered reduction in this repository relies on), leases
+// units to workers over a small HTTP+JSON protocol, and reassembles the
+// workers' NDJSON result lines in input order — so distributed output is
+// byte-identical to the sequential run, the repository's core invariant
+// extended across process boundaries.
+//
+// The protocol is four POST endpoints plus a status probe, all JSON except
+// the result body, which is raw NDJSON (the same frame cmd/scenario
+// -stream emits):
+//
+//	POST /v1/lease      {"worker":ID}            -> {"done":bool,"unit":{...},"lease_ttl_ms":N,"retry_after_ms":N}
+//	POST /v1/heartbeat  {"worker":ID,"unit":N}   -> {"ok":true} | 409 {"error":"lease lost"}
+//	POST /v1/result?worker=ID&unit=N  <NDJSON>   -> {"accepted":true}
+//	POST /v1/fail       {"worker":ID,"unit":N,"error":S} -> {"ok":true}
+//	GET  /v1/status                              -> {"kind","n","items_done","units_total","units_done","failed"}
+//
+// Liveness is lease-based: a worker holds a unit for LeaseTTL and extends
+// it by heartbeating; when a worker dies mid-lease the lease expires and
+// the next lease request hands the unit to another worker. Results are
+// idempotent per item index — a re-leased unit reported by two workers
+// stores each line once (first arrival wins; the lines are byte-identical
+// anyway, because the work is deterministic) — so late results from a
+// presumed-dead worker are accepted, never duplicated.
+//
+// The coordinator optionally journals every completed line to a checkpoint
+// (internal/dist/journal); restarting it with the replayed lines skips
+// finished items entirely, and units whose whole range was already
+// journaled are never leased again.
+package dist
+
+import (
+	"encoding/json"
+
+	"repro/internal/sweep"
+)
+
+// Unit is one leasable work unit: a contiguous range of the batch's input
+// indices plus the self-contained payload a worker needs to execute them.
+// Units carry everything over the wire — workers share no filesystem or
+// configuration with the coordinator.
+type Unit struct {
+	// ID is the unit's index in the coordinator's shard list.
+	ID int `json:"id"`
+	// Range is the half-open input-index interval this unit covers.
+	Range sweep.Range `json:"range"`
+	// Kind names the payload family (e.g. KindScenarioBatch) so an
+	// executor can refuse units it does not understand.
+	Kind string `json:"kind"`
+	// Payload is the kind-specific work description.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Spec describes a divisible batch to the coordinator: how many ordered
+// items it has, how to render the payload for a contiguous range of them,
+// and the content hash that pins the input across restarts.
+type Spec struct {
+	// Kind tags the payload family of every unit.
+	Kind string
+	// Hash is the canonical content hash of the input batch
+	// (journal.Hash); it keys checkpoint resume.
+	Hash string
+	// N is the number of ordered items.
+	N int
+	// Payload renders the work description for one contiguous item range.
+	Payload func(r sweep.Range) (json.RawMessage, error)
+}
+
+// leaseRequest is the body of POST /v1/lease.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse is the coordinator's answer to a lease request: a unit to
+// execute, a backoff hint when everything is currently leased, or done.
+type LeaseResponse struct {
+	// Done reports that no more work will ever be handed out: the batch
+	// completed, failed, or the coordinator is shutting down. Workers exit.
+	Done bool `json:"done"`
+	// Unit is the leased work unit, nil when Done or when all remaining
+	// units are leased to other workers.
+	Unit *Unit `json:"unit,omitempty"`
+	// LeaseTTLMS is the lease duration; workers heartbeat a few times per
+	// TTL to keep the lease alive.
+	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+	// RetryAfterMS hints how long to wait before the next lease request
+	// when no unit is available.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// heartbeatRequest is the body of POST /v1/heartbeat.
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	Unit   int    `json:"unit"`
+}
+
+// failRequest is the body of POST /v1/fail: a deterministic execution
+// failure that should abort the whole batch (retrying deterministic work
+// elsewhere would only fail again).
+type failRequest struct {
+	Worker string `json:"worker"`
+	Unit   int    `json:"unit"`
+	Error  string `json:"error"`
+}
+
+// Status is the GET /v1/status snapshot.
+type Status struct {
+	Kind       string `json:"kind"`
+	N          int    `json:"n"`
+	ItemsDone  int    `json:"items_done"`
+	UnitsTotal int    `json:"units_total"`
+	UnitsDone  int    `json:"units_done"`
+	Failed     bool   `json:"failed"`
+}

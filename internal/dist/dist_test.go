@@ -1,0 +1,437 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist/journal"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// toySpec is a fast synthetic batch: item i's result line is {"i":i}. It
+// exercises every protocol path without paying for real simulations.
+func toySpec(n int) Spec {
+	return Spec{
+		Kind: "toy",
+		Hash: "toyhash",
+		N:    n,
+		Payload: func(r sweep.Range) (json.RawMessage, error) {
+			return json.Marshal(r)
+		},
+	}
+}
+
+// toyExec executes toy units; failAt >= 0 makes the unit containing that
+// index fail deterministically.
+func toyExec(failAt int) Executor {
+	return func(ctx context.Context, u Unit) ([][]byte, error) {
+		var r sweep.Range
+		if err := json.Unmarshal(u.Payload, &r); err != nil {
+			return nil, err
+		}
+		var lines [][]byte
+		for i := r.Lo; i < r.Hi; i++ {
+			if i == failAt {
+				return nil, fmt.Errorf("toy item %d exploded", i)
+			}
+			lines = append(lines, []byte(fmt.Sprintf(`{"i":%d}`, i)))
+		}
+		return lines, nil
+	}
+}
+
+// toyWant renders the sequential toy output for n items.
+func toyWant(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `{"i":%d}`+"\n", i)
+	}
+	return b.String()
+}
+
+// startCoordinator boots a coordinator and its HTTP server, cleaning both
+// up with the test.
+func startCoordinator(t *testing.T, ctx context.Context, spec Spec, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(ctx, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+// runWorkers runs k in-process workers against the coordinator and waits
+// for all of them; the first non-nil worker error is returned.
+func runWorkers(ctx context.Context, srv *httptest.Server, k int, exec Executor) error {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		werr error
+	)
+	for i := 0; i < k; i++ {
+		w := &Worker{
+			Coordinator: srv.URL,
+			ID:          fmt.Sprintf("w%d", i),
+			Exec:        exec,
+			Client:      srv.Client(),
+			Poll:        5 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				mu.Lock()
+				if werr == nil {
+					werr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return werr
+}
+
+// drain collects the coordinator's emitted NDJSON lines into one buffer.
+func drain(c *Coordinator) *bytes.Buffer {
+	var buf bytes.Buffer
+	for line := range c.Results() {
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return &buf
+}
+
+// TestToyDistributedOrder checks the basic contract on a synthetic batch:
+// several workers, more units than workers, output in input order.
+func TestToyDistributedOrder(t *testing.T) {
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(10), Config{Units: 4, LeaseTTL: time.Minute})
+
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	if err := runWorkers(ctx, srv, 3, toyExec(-1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), toyWant(10); got != want {
+		t.Errorf("distributed output out of order:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestScenarioDistributedMatchesSequential is the acceptance test: a
+// coordinator with two in-process workers produces byte-identical NDJSON
+// to the buffered sequential run of the same scenario batch.
+func TestScenarioDistributedMatchesSequential(t *testing.T) {
+	b := testBatch(t, 4)
+
+	// Sequential reference: one worker, the plain streaming pipeline.
+	var want bytes.Buffer
+	if err := scenario.StreamNDJSON(t.Context(), b, scenario.StreamOptions{Workers: 1}, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := ScenarioSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, spec, Config{Units: 3, LeaseTTL: time.Minute})
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	if err := runWorkers(ctx, srv, 2, ScenarioExecutor(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("distributed output differs from sequential:\n got: %s\nwant: %s", got.Bytes(), want.Bytes())
+	}
+}
+
+// testBatch builds a small real scenario batch (short simulations).
+func testBatch(t *testing.T, n int) scenario.Batch {
+	t.Helper()
+	var cfgs []string
+	for i := 0; i < n; i++ {
+		cfgs = append(cfgs, fmt.Sprintf(
+			`{"name":"s%d","l1_kb":16,"l2_kb":%d,"workload":"tpcc","accesses":20000}`, i, 256<<(i%2)))
+	}
+	b, err := scenario.LoadBatch(strings.NewReader(`{"scenarios":[` + strings.Join(cfgs, ",") + `]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWorkerDeathReLease kills a worker mid-lease (it leases a unit and
+// vanishes without heartbeating) and checks the lease expires, the unit is
+// re-leased, and the batch still completes with ordered, complete output.
+func TestWorkerDeathReLease(t *testing.T) {
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(6), Config{Units: 3, LeaseTTL: 50 * time.Millisecond})
+
+	// The zombie takes a lease and is never heard from again.
+	zombie := leaseRaw(t, srv, "zombie")
+	if zombie.Unit == nil {
+		t.Fatal("zombie got no unit")
+	}
+
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	if err := runWorkers(ctx, srv, 1, toyExec(-1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), toyWant(6); got != want {
+		t.Errorf("output after worker death:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestLateResultIdempotent checks a presumed-dead worker's late result is
+// accepted without duplicating lines: results are idempotent per index.
+func TestLateResultIdempotent(t *testing.T) {
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(4), Config{Units: 2, LeaseTTL: 50 * time.Millisecond})
+
+	zombie := leaseRaw(t, srv, "zombie")
+	if zombie.Unit == nil {
+		t.Fatal("zombie got no unit")
+	}
+
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	if err := runWorkers(ctx, srv, 1, toyExec(-1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The zombie wakes up and reports the unit everyone moved past.
+	u := *zombie.Unit
+	var lines []string
+	for i := u.Range.Lo; i < u.Range.Hi; i++ {
+		lines = append(lines, fmt.Sprintf(`{"i":%d}`, i))
+	}
+	resp, err := srv.Client().Post(
+		fmt.Sprintf("%s/v1/result?worker=zombie&unit=%d", srv.URL, u.ID),
+		"application/x-ndjson", strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("late result rejected: %s", resp.Status)
+	}
+	if got, want := buf.String(), toyWant(4); got != want {
+		t.Errorf("late result corrupted output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestFailurePropagates checks a deterministic unit failure aborts the
+// batch: the worker reports it, Wait returns it, and later leases tell
+// workers the run is over.
+func TestFailurePropagates(t *testing.T) {
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(6), Config{Units: 3, LeaseTTL: time.Minute})
+
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	werr := runWorkers(ctx, srv, 2, toyExec(4))
+	<-done
+	if werr == nil || !strings.Contains(werr.Error(), "exploded") {
+		t.Fatalf("worker error = %v, want the toy explosion", werr)
+	}
+	if err := c.Wait(); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Fatalf("Wait() = %v, want the unit failure", err)
+	}
+	if lease := leaseRaw(t, srv, "latecomer"); !lease.Done {
+		t.Error("post-failure lease should report done so workers exit")
+	}
+}
+
+// TestResumeSkipsFinishedUnits restarts a coordinator against a journal
+// holding a finished prefix and checks: covered units are never leased,
+// nothing journaled is re-emitted, and journal + new emissions reassemble
+// the full sequential output.
+func TestResumeSkipsFinishedUnits(t *testing.T) {
+	const n = 8
+	spec := toySpec(n)
+	path := filepath.Join(t.TempDir(), "toy.journal")
+	h := journal.Header{Kind: spec.Kind, BatchSHA256: spec.Hash, N: n}
+
+	// A previous run completed indices 0..4 (units 0 and 1 of 4, plus a
+	// partial unit 2) before dying.
+	j, err := journal.Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 4; i++ {
+		if err := j.Record(i, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j, replayed, err := journal.Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	var leased []int
+	ctx := t.Context()
+	c, err := New(ctx, spec, Config{Units: 4, LeaseTTL: time.Minute, Journal: j, Done: replayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+
+	var mu sync.Mutex
+	w := &Worker{
+		Coordinator: srv.URL, ID: "w0", Client: srv.Client(), Poll: 5 * time.Millisecond,
+		Exec: toyExec(-1),
+		OnUnit: func(u Unit) {
+			mu.Lock()
+			leased = append(leased, u.ID)
+			mu.Unlock()
+		},
+	}
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With 8 items in 4 units of 2, indices 0..4 done means units 0 and 1
+	// are fully covered and must never be executed again.
+	for _, id := range leased {
+		if id == 0 || id == 1 {
+			t.Errorf("fully journaled unit %d was re-executed", id)
+		}
+	}
+	// The resumed run emits only the remainder.
+	if got, want := buf.String(), `{"i":5}`+"\n"+`{"i":6}`+"\n"+`{"i":7}`+"\n"; got != want {
+		t.Errorf("resumed emission:\n got: %q\nwant: %q", got, want)
+	}
+	// And the journal now reassembles the complete sequential output.
+	_, all, err := journal.Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	for i := 0; i < n; i++ {
+		full.Write(all[i])
+		full.WriteByte('\n')
+	}
+	if got, want := full.String(), toyWant(n); got != want {
+		t.Errorf("journal reassembly:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestStatus checks the observability probe.
+func TestStatus(t *testing.T) {
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(5), Config{Units: 2, LeaseTTL: time.Minute})
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	if err := runWorkers(ctx, srv, 1, toyExec(-1)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	want := Status{Kind: "toy", N: 5, ItemsDone: 5, UnitsTotal: 2, UnitsDone: 2}
+	if st != want {
+		t.Errorf("status = %+v, want %+v", st, want)
+	}
+}
+
+// leaseRaw takes a lease over plain HTTP, bypassing the Worker loop.
+func leaseRaw(t *testing.T, srv *httptest.Server, worker string) LeaseResponse {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+"/v1/lease", "application/json",
+		strings.NewReader(`{"worker":"`+worker+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lease LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	return lease
+}
+
+// TestExperimentsSpec checks the experiment-grid glue without paying for a
+// real evaluation: unknown IDs fail on the coordinator, payloads carry the
+// right registry slice.
+func TestExperimentsSpec(t *testing.T) {
+	if _, err := ExperimentsSpec([]string{"fig1", "no-such-artifact"}); err == nil ||
+		!strings.Contains(err.Error(), "no-such-artifact") {
+		t.Fatalf("unknown id must fail spec construction, got %v", err)
+	}
+	spec, err := ExperimentsSpec([]string{"fig1", "fig2", "tab-l1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 3 || spec.Kind != KindExperiments {
+		t.Fatalf("spec = %+v", spec)
+	}
+	payload, err := spec.Payload(sweep.Range{Lo: 1, Hi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p expPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.IDs) != 2 || p.IDs[0] != "fig2" || p.IDs[1] != "tab-l1" {
+		t.Fatalf("payload ids = %v", p.IDs)
+	}
+}
+
+// TestScenarioExecutorRejectsForeignUnit pins the kind check.
+func TestScenarioExecutorRejectsForeignUnit(t *testing.T) {
+	_, err := ScenarioExecutor(1)(t.Context(), Unit{Kind: "toy"})
+	if err == nil || !strings.Contains(err.Error(), `"toy"`) {
+		t.Fatalf("foreign unit must be refused, got %v", err)
+	}
+}

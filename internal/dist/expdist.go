@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dist/journal"
+	"repro/internal/exp"
+	"repro/internal/sweep"
+)
+
+// KindExperiments tags units carrying a slice of the experiment registry
+// grid; the payload is {"ids": [...]} naming registry entries. Each worker
+// builds its own Env — substrates (caches, fitted models, miss matrices)
+// are memoized per process, which is exactly the point of distributing the
+// grid: a fleet rebuilds them once per machine instead of once total, and
+// in exchange the grid scales past one process.
+const KindExperiments = "experiments"
+
+// expPayload is the wire form of an experiment unit.
+type expPayload struct {
+	IDs []string `json:"ids"`
+}
+
+// expLine is the NDJSON shape of one distributed artifact — the same
+// {"id","ascii","csv"} frame `figures -stream` emits, so downstream
+// consumers cannot tell a distributed run from a local one.
+type expLine struct {
+	ID    string `json:"id"`
+	ASCII string `json:"ascii"`
+	CSV   string `json:"csv"`
+}
+
+// ExperimentsSpec describes a subset of the experiment registry (in
+// registry order) to the coordinator. Unknown IDs fail here, on the
+// coordinator, not on some worker three machines away.
+func ExperimentsSpec(ids []string) (Spec, error) {
+	if len(ids) == 0 {
+		return Spec{}, fmt.Errorf("dist: no experiment ids")
+	}
+	if _, err := findExperiments(ids); err != nil {
+		return Spec{}, err
+	}
+	hash, err := journal.Hash(expPayload{IDs: ids})
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Kind: KindExperiments,
+		Hash: hash,
+		N:    len(ids),
+		Payload: func(r sweep.Range) (json.RawMessage, error) {
+			return json.Marshal(expPayload{IDs: ids[r.Lo:r.Hi]})
+		},
+	}, nil
+}
+
+// ExperimentsExecutor returns the worker-side executor for experiment
+// units. newEnv builds the worker's environment (e.g. exp.NewEnv, or
+// exp.NewQuickEnv in tests) — one Env per executor, built lazily and
+// shared across its units so memoized substrates amortize. The returned
+// executor is stateful: give each Worker its own (a Worker runs units
+// sequentially, so the laziness needs no lock).
+func ExperimentsExecutor(newEnv func() *exp.Env) Executor {
+	var env *exp.Env
+	return func(ctx context.Context, u Unit) ([][]byte, error) {
+		if u.Kind != KindExperiments {
+			return nil, fmt.Errorf("dist: experiments executor got %q unit", u.Kind)
+		}
+		var p expPayload
+		if err := json.Unmarshal(u.Payload, &p); err != nil {
+			return nil, fmt.Errorf("dist: unit %d payload: %w", u.ID, err)
+		}
+		exps, err := findExperiments(p.IDs)
+		if err != nil {
+			return nil, err
+		}
+		if env == nil {
+			env = newEnv()
+		}
+		arts, err := env.RunExperimentsCtx(ctx, exps)
+		if err != nil {
+			return nil, err
+		}
+		lines := make([][]byte, len(arts))
+		for i, a := range arts {
+			if lines[i], err = json.Marshal(expLine{ID: a.ID, ASCII: a.Render(), CSV: a.CSV()}); err != nil {
+				return nil, err
+			}
+		}
+		return lines, nil
+	}
+}
+
+// findExperiments resolves registry IDs, preserving input order.
+func findExperiments(ids []string) ([]exp.Experiment, error) {
+	byID := make(map[string]exp.Experiment)
+	for _, e := range exp.Experiments() {
+		byID[e.ID] = e
+	}
+	out := make([]exp.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("dist: unknown experiment id %q", id)
+		}
+		out[i] = e
+	}
+	return out, nil
+}

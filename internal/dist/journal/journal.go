@@ -1,0 +1,239 @@
+// Package journal implements the checkpoint journal that lets huge sweep
+// batches survive restarts: an append-only NDJSON file whose first line is
+// a header pinning the input batch (a content hash plus the item count),
+// followed by one entry per completed item carrying the item's input index
+// and its exact result line.
+//
+// The format is deliberately crash-tolerant in one specific way: a process
+// killed mid-append leaves a truncated final line, and replay tolerates
+// exactly that — the torn line is discarded (and the file truncated back to
+// the last complete entry so later appends stay valid NDJSON). Any other
+// corruption — a torn line in the middle, an entry index out of range, a
+// header that does not parse — is an error, because silently skipping it
+// would re-emit or drop results. Resuming against a journal whose batch
+// hash does not match the input batch is refused outright: the journal's
+// completed lines would belong to a different design space.
+//
+// Entries carry input indices, not names, so replay order does not matter
+// and a distributed coordinator can append unit results out of input order.
+// Duplicate entries for one index are legal (a unit re-leased after a slow
+// worker finally reported, or a crash between append and lease bookkeeping)
+// and replay keeps the first occurrence.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Version is the journal format version written into headers; Resume
+// refuses files written by a different version.
+const Version = 1
+
+// Header is the first line of a journal: it pins the input batch so a
+// resume against different input fails loudly instead of splicing results
+// from two different design spaces.
+type Header struct {
+	// V is the format version (Version).
+	V int `json:"v"`
+	// Kind names the payload family, e.g. "scenario-batch"; resuming a
+	// journal of one kind against input of another is refused.
+	Kind string `json:"kind"`
+	// BatchSHA256 is the hex content hash of the canonical input batch.
+	BatchSHA256 string `json:"batch_sha256"`
+	// N is the number of items in the batch; entry indices live in [0, N).
+	N int `json:"n"`
+}
+
+// entry is one completed item: its input index and the exact NDJSON result
+// line (compact JSON, no trailing newline).
+type entry struct {
+	I    int             `json:"i"`
+	Line json.RawMessage `json:"line"`
+}
+
+// Hash renders v as canonical JSON and returns the hex SHA-256 — the
+// content hash stored in headers. Two batches hash equal exactly when their
+// JSON forms are byte-identical.
+func Hash(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("journal: hashing batch: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Journal is an open checkpoint file. Record appends entries; all methods
+// are safe only for one goroutine at a time (callers serialize — the
+// coordinator appends under its state lock, the single-process stream
+// appends from the emitting loop).
+type Journal struct {
+	f *os.File
+}
+
+// Create starts a fresh journal at path, truncating any previous file, and
+// writes the header.
+func Create(path string, h Header) (*Journal, error) {
+	h.V = Version
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Resume opens an existing journal, verifies its header against want
+// (version, kind, batch hash, item count), and replays the completed
+// entries. It returns the journal positioned for appending and the replayed
+// lines keyed by input index. A truncated final line is discarded and the
+// file truncated back to the last complete entry; duplicate indices keep
+// the first occurrence.
+func Resume(path string, want Header) (*Journal, map[int]json.RawMessage, error) {
+	want.V = Version
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	done, keep, err := replay(f, want)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop the torn tail (if any) so appends continue valid NDJSON.
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f}, done, nil
+}
+
+// Open is the front door for checkpointed runs: with resume false it always
+// starts fresh (Create); with resume true it resumes an existing journal,
+// or starts fresh when none exists yet — so one command line serves both
+// the first run and every restart.
+func Open(path string, h Header, resume bool) (*Journal, map[int]json.RawMessage, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return Resume(path, h)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	j, err := Create(path, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, nil, nil
+}
+
+// replay scans the journal body, returning the completed lines and the file
+// offset just past the last complete line (where appending must continue).
+func replay(f *os.File, want Header) (map[int]json.RawMessage, int64, error) {
+	r := bufio.NewReader(f)
+	var offset int64
+
+	headLine, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: unreadable header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(headLine, &h); err != nil {
+		return nil, 0, fmt.Errorf("journal: malformed header: %w", err)
+	}
+	switch {
+	case h.V != want.V:
+		return nil, 0, fmt.Errorf("journal: format version %d, want %d", h.V, want.V)
+	case h.Kind != want.Kind:
+		return nil, 0, fmt.Errorf("journal: kind %q, want %q", h.Kind, want.Kind)
+	case h.BatchSHA256 != want.BatchSHA256:
+		return nil, 0, fmt.Errorf("journal: batch hash mismatch: journal has %s, input batch is %s (refusing to resume against a different batch)", h.BatchSHA256, want.BatchSHA256)
+	case h.N != want.N:
+		return nil, 0, fmt.Errorf("journal: batch has %d items, journal expects %d", want.N, h.N)
+	}
+	offset += int64(len(headLine))
+
+	done := make(map[int]json.RawMessage)
+	for {
+		line, err := r.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return nil, 0, fmt.Errorf("journal: %w", err)
+		}
+		if atEOF {
+			// No trailing newline: either a clean EOF (empty tail) or the
+			// torn final line of a crashed append. Both are discarded —
+			// Resume truncates the file back to offset.
+			return done, offset, nil
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, 0, fmt.Errorf("journal: corrupt entry at byte %d: %w", offset, err)
+		}
+		if e.I < 0 || e.I >= h.N {
+			return nil, 0, fmt.Errorf("journal: entry index %d out of range [0, %d)", e.I, h.N)
+		}
+		if _, dup := done[e.I]; !dup {
+			compact := &bytes.Buffer{}
+			if err := json.Compact(compact, e.Line); err != nil {
+				return nil, 0, fmt.Errorf("journal: corrupt entry line at byte %d: %w", offset, err)
+			}
+			done[e.I] = json.RawMessage(compact.Bytes())
+		}
+		offset += int64(len(line))
+	}
+}
+
+// Record appends one completed item: its input index and its exact result
+// line (compact JSON, no trailing newline). The append is a single write
+// syscall, so a crash leaves at worst one torn final line — which Resume
+// tolerates.
+func (j *Journal) Record(i int, line []byte) error {
+	e := entry{I: i, Line: json.RawMessage(line)}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage. Record does not sync per
+// entry (results are recomputable; the journal is an optimization, not a
+// durability contract) — callers that want a hard flush point call Sync.
+func (j *Journal) Sync() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

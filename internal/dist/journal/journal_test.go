@@ -1,0 +1,287 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader(n int) Header {
+	return Header{Kind: "test-batch", BatchSHA256: "abc123", N: n}
+}
+
+// write creates a journal at path with the given entries recorded.
+func write(t *testing.T, path string, h Header, lines map[int]string) {
+	t.Helper()
+	j, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order for reproducible files.
+	for i := 0; i < h.N; i++ {
+		if line, ok := lines[i]; ok {
+			if err := j.Record(i, []byte(line)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(3)
+	write(t, path, h, map[int]string{0: `{"name":"a"}`, 2: `{"name":"c"}`})
+
+	j, done, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(done) != 2 || string(done[0]) != `{"name":"a"}` || string(done[2]) != `{"name":"c"}` {
+		t.Fatalf("replayed %v", done)
+	}
+	if _, ok := done[1]; ok {
+		t.Fatal("index 1 was never recorded but replayed")
+	}
+
+	// Appending after resume continues the journal.
+	if err := j.Record(1, []byte(`{"name":"b"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, done, err = Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 || string(done[1]) != `{"name":"b"}` {
+		t.Fatalf("after append, replayed %v", done)
+	}
+}
+
+// TestTruncatedFinalLine checks the crash case the format is designed for:
+// a torn final line is discarded, replay succeeds, and the file is
+// truncated so further appends produce valid NDJSON.
+func TestTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(3)
+	write(t, path, h, map[int]string{0: `{"name":"a"}`})
+
+	// Simulate a crash mid-append: a partial entry with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"i":1,"line":{"na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j, done, err := Resume(path, h)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if len(done) != 1 || string(done[0]) != `{"name":"a"}` {
+		t.Fatalf("replayed %v", done)
+	}
+	// The torn tail must be gone: appending and re-replaying works.
+	if err := j.Record(1, []byte(`{"name":"b"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, done, err = Resume(path, h)
+	if err != nil {
+		t.Fatalf("resume after torn-tail truncation: %v", err)
+	}
+	if len(done) != 2 || string(done[1]) != `{"name":"b"}` {
+		t.Fatalf("after truncation + append, replayed %v", done)
+	}
+}
+
+// TestCorruptMiddleLine checks that a torn line anywhere but the tail is an
+// error — skipping it would silently drop a completed result.
+func TestCorruptMiddleLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(3)
+	write(t, path, h, map[int]string{0: `{"name":"a"}`})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("{\"i\":1,\"line\":{\"na\n")...)
+	data = append(data, []byte("{\"i\":2,\"line\":{\"name\":\"c\"}}\n")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(path, h); err == nil || !strings.Contains(err.Error(), "corrupt entry") {
+		t.Fatalf("corrupt middle line must fail replay, got %v", err)
+	}
+}
+
+// TestDuplicateEntries checks duplicate indices (a re-leased unit reporting
+// twice, or matching duplicate scenario names journaled under one index)
+// replay as the first occurrence, once.
+func TestDuplicateEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(2)
+	j, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, []byte(`{"name":"dup","v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, []byte(`{"name":"dup","v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, done, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("want 1 replayed index, got %d", len(done))
+	}
+	if string(done[0]) != `{"name":"dup","v":1}` {
+		t.Fatalf("duplicate replay must keep the first occurrence, got %s", done[0])
+	}
+}
+
+// TestHashMismatchRefused checks resuming against a different batch fails
+// with a clear diagnostic instead of splicing unrelated results.
+func TestHashMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	write(t, path, testHeader(2), map[int]string{0: `{"name":"a"}`})
+
+	other := testHeader(2)
+	other.BatchSHA256 = "def456"
+	_, _, err := Resume(path, other)
+	if err == nil || !strings.Contains(err.Error(), "batch hash mismatch") {
+		t.Fatalf("hash mismatch must refuse resume, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("diagnostic should explain the refusal, got %v", err)
+	}
+}
+
+func TestHeaderMismatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	write(t, path, testHeader(2), nil)
+
+	wrongKind := testHeader(2)
+	wrongKind.Kind = "experiments"
+	if _, _, err := Resume(path, wrongKind); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("kind mismatch: %v", err)
+	}
+	wrongN := testHeader(5)
+	if _, _, err := Resume(path, wrongN); err == nil || !strings.Contains(err.Error(), "items") {
+		t.Fatalf("count mismatch: %v", err)
+	}
+}
+
+func TestEntryIndexOutOfRange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(2)
+	write(t, path, h, nil)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"i":7,"line":{"name":"x"}}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := Resume(path, h); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range index must fail replay, got %v", err)
+	}
+}
+
+// TestOpenFrontDoor checks Open's resume semantics: fresh file without
+// resume, fresh file with resume when none exists, replay when one does.
+func TestOpenFrontDoor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(2)
+
+	j, done, err := Open(path, h, true) // resume with no journal yet: fresh
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("fresh journal replayed %v", done)
+	}
+	if err := j.Record(0, []byte(`{"name":"a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j, done, err = Open(path, h, true) // resume with a journal: replay
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if len(done) != 1 {
+		t.Fatalf("resume replayed %v", done)
+	}
+
+	j, done, err = Open(path, h, false) // no resume: truncate and restart
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if len(done) != 0 {
+		t.Fatalf("fresh open replayed %v", done)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	type batch struct {
+		Names []string `json:"names"`
+	}
+	h1, err := Hash(batch{Names: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(batch{Names: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := Hash(batch{Names: []string{"a", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("hash must be deterministic")
+	}
+	if h1 == h3 {
+		t.Fatal("different batches must hash differently")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("want hex sha256, got %q", h1)
+	}
+}
+
+// TestJournalIsNDJSON pins the on-disk format: every line of a journal is
+// one standalone JSON document.
+func TestJournalIsNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(2)
+	write(t, path, h, map[int]string{0: `{"name":"a"}`, 1: `{"name":"b"}`})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 entries, got %d lines", len(lines))
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("line %d is not JSON: %q", i, line)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines snapshots the goroutine count and returns a check that
+// fails the test if the count has not returned to the snapshot within a
+// grace period (HTTP transport read loops take a moment to wind down after
+// connections close).
+func settleGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestNoLeakWhenWorkerDies checks the coordinator leaks nothing when a
+// worker takes a lease and dies: the batch completes via re-lease and
+// every coordinator goroutine exits.
+func TestNoLeakWhenWorkerDies(t *testing.T) {
+	check := settleGoroutines(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := New(ctx, toySpec(6), Config{Units: 3, LeaseTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+
+	if lease := leaseRaw(t, srv, "doomed"); lease.Unit == nil {
+		t.Fatal("doomed worker got no unit")
+	}
+	// The doomed worker never heartbeats again; a live one finishes the
+	// batch after the lease expires.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range c.Results() {
+		}
+	}()
+	if err := runWorkers(ctx, srv, 1, toyExec(-1)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	srv.CloseClientConnections()
+	srv.Close()
+	check()
+}
+
+// TestNoLeakWhenConsumerAbandons checks the emitter and workers unwind
+// when the result consumer walks away mid-stream: cancelling the run
+// context is enough, no draining required.
+func TestNoLeakWhenConsumerAbandons(t *testing.T) {
+	check := settleGoroutines(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Workers slow enough that the consumer can abandon a running batch.
+	slow := func(uctx context.Context, u Unit) ([][]byte, error) {
+		if err := sleep(uctx, 10*time.Millisecond); err != nil {
+			return nil, err
+		}
+		return toyExec(-1)(uctx, u)
+	}
+	c, err := New(ctx, toySpec(32), Config{Units: 16, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+
+	workersDone := make(chan error, 1)
+	go func() { workersDone <- runWorkers(ctx, srv, 2, slow) }()
+
+	// Read one line, then abandon the stream without draining.
+	select {
+	case <-c.Results():
+	case <-time.After(10 * time.Second):
+		t.Fatal("no first result")
+	}
+	cancel()
+
+	if err := c.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait() = %v, want context.Canceled", err)
+	}
+	if err := <-workersDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("workers: %v", err)
+	}
+
+	srv.CloseClientConnections()
+	srv.Close()
+	check()
+}
+
+// TestNoLeakAcrossManyRuns runs several full coordinator lifecycles and
+// checks nothing accumulates — the per-run goroutines (emitter, server,
+// workers, heartbeats) all terminate with their run.
+func TestNoLeakAcrossManyRuns(t *testing.T) {
+	check := settleGoroutines(t)
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		c, err := New(ctx, toySpec(8), Config{Units: 4, LeaseTTL: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(c.Handler())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range c.Results() {
+			}
+		}()
+		if err := runWorkers(ctx, srv, 3, toyExec(-1)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		<-done
+		if err := c.Wait(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cancel()
+		srv.CloseClientConnections()
+		srv.Close()
+	}
+	check()
+}
+
+// TestWorkerHeartbeatStopsWithUnit pins that a worker's heartbeat loop
+// ends with its unit: after Run returns, no heartbeat goroutine survives.
+func TestWorkerHeartbeatStopsWithUnit(t *testing.T) {
+	check := settleGoroutines(t)
+	ctx := t.Context()
+	c, err := New(ctx, toySpec(4), Config{Units: 2, LeaseTTL: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range c.Results() {
+		}
+	}()
+	// Slow units force several heartbeats per lease.
+	slow := func(uctx context.Context, u Unit) ([][]byte, error) {
+		if err := sleep(uctx, 100*time.Millisecond); err != nil {
+			return nil, err
+		}
+		return toyExec(-1)(uctx, u)
+	}
+	if err := runWorkers(ctx, srv, 2, slow); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	srv.CloseClientConnections()
+	srv.Close()
+	check()
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// KindScenarioBatch tags units carrying a scenario sub-batch; the payload
+// is the ordinary batch schema ({"scenarios": [...]}) restricted to the
+// unit's range, with defaults already applied by the coordinator so every
+// worker executes identical configs. It equals the scenario checkpoint
+// kind, so single-process and distributed checkpoints of one batch are
+// interchangeable.
+const KindScenarioBatch = scenario.JournalKind
+
+// ScenarioSpec describes a scenario batch to the coordinator. The hash
+// pins the defaulted batch, so a checkpoint taken by a distributed run and
+// one taken by a single-process `scenario -checkpoint` run of the same
+// input are interchangeable.
+func ScenarioSpec(b scenario.Batch) (Spec, error) {
+	if err := b.Validate(); err != nil {
+		return Spec{}, err
+	}
+	hash, err := ScenarioBatchHash(b)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Kind: KindScenarioBatch,
+		Hash: hash,
+		N:    len(b.Scenarios),
+		Payload: func(r sweep.Range) (json.RawMessage, error) {
+			return json.Marshal(scenario.Batch{Scenarios: b.Scenarios[r.Lo:r.Hi]})
+		},
+	}, nil
+}
+
+// ScenarioBatchHash is the canonical content hash of a scenario batch —
+// the value stored in checkpoint headers and compared on resume.
+func ScenarioBatchHash(b scenario.Batch) (string, error) {
+	return b.Hash()
+}
+
+// ScenarioExecutor returns the worker-side executor for scenario units: it
+// runs the unit's sub-batch (workers bounds in-unit concurrency, 0 =
+// GOMAXPROCS) and emits exactly the NDJSON lines the sequential
+// `scenario -stream` run would emit for those indices.
+func ScenarioExecutor(workers int) Executor {
+	return func(ctx context.Context, u Unit) ([][]byte, error) {
+		if u.Kind != KindScenarioBatch {
+			return nil, fmt.Errorf("dist: scenario executor got %q unit", u.Kind)
+		}
+		dec := json.NewDecoder(bytes.NewReader(u.Payload))
+		dec.DisallowUnknownFields()
+		var b scenario.Batch
+		if err := dec.Decode(&b); err != nil {
+			return nil, fmt.Errorf("dist: unit %d payload: %w", u.ID, err)
+		}
+		res, err := scenario.RunBatchCtx(ctx, b, workers)
+		if err != nil {
+			return nil, err
+		}
+		lines := make([][]byte, len(res.Scenarios))
+		for i, r := range res.Scenarios {
+			if lines[i], err = r.NDJSONLine(); err != nil {
+				return nil, err
+			}
+		}
+		return lines, nil
+	}
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dist/journal"
+	"repro/internal/sweep"
+)
+
+// JournalKind tags scenario-batch checkpoint journals (and the distributed
+// work units built from the same batches — internal/dist reuses it), so a
+// checkpoint written by `scenario -checkpoint` resumes under `sweepd
+// serve` and vice versa.
+const JournalKind = "scenario-batch"
+
+// Hash is the canonical content hash of the batch: the hex SHA-256 of its
+// JSON form after defaulting. It pins checkpoint journals to their input —
+// resuming against a batch that hashes differently is refused.
+func (b Batch) Hash() (string, error) {
+	return journal.Hash(b)
+}
+
+// JournalHeader renders the checkpoint header for this batch.
+func (b Batch) JournalHeader() (journal.Header, error) {
+	hash, err := b.Hash()
+	if err != nil {
+		return journal.Header{}, err
+	}
+	return journal.Header{Kind: JournalKind, BatchSHA256: hash, N: len(b.Scenarios)}, nil
+}
+
+// StreamNDJSONCheckpointed is StreamNDJSON with crash recovery: every
+// emitted line is first appended to the journal, and indices already
+// present in done (a previous run's journal replay) are neither re-run nor
+// re-emitted — a resumed run's stdout is exactly the remainder, in input
+// order.
+//
+// The journal, not the consumer's copy of the stream, is the authoritative
+// record: a line is journaled before it is written to w, so a crash
+// between the two leaves the line recoverable from the journal rather than
+// emitted-but-unjournaled (which a resume would silently recompute and
+// duplicate). When every index is already journaled the call returns
+// immediately having emitted nothing.
+func StreamNDJSONCheckpointed(ctx context.Context, b Batch, opts StreamOptions, w io.Writer, jr *journal.Journal, done map[int]json.RawMessage) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	pending := make([]int, 0, len(b.Scenarios))
+	for i := range b.Scenarios {
+		if _, ok := done[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, wait := sweep.Stream(ctx, len(pending), sweep.StreamConfig{
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+	}, func(ctx context.Context, k int) (Result, error) {
+		cfg := b.Scenarios[pending[k]]
+		res, err := RunCtx(ctx, cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario %q: %w", cfg.Name, err)
+		}
+		return res, nil
+	})
+	emitted := 0
+	var sinkErr error
+	for res := range ch {
+		if sinkErr != nil {
+			continue // the post-cancel drain; nothing more is scheduled
+		}
+		idx := pending[emitted]
+		line, err := res.NDJSONLine()
+		if err == nil {
+			err = jr.Record(idx, line)
+		}
+		if err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+		if err != nil {
+			sinkErr = fmt.Errorf("scenario: checkpointing %q: %w", res.Name, err)
+			cancel()
+		}
+		emitted++
+	}
+	err := wait()
+	if sinkErr != nil {
+		// The wait error is the cancellation this function triggered; the
+		// journal/write failure is the root cause.
+		return sinkErr
+	}
+	return err
+}

@@ -185,8 +185,13 @@ func EachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	return err
 }
 
-// Range is a half-open index interval [Lo, Hi).
-type Range struct{ Lo, Hi int }
+// Range is a half-open index interval [Lo, Hi). The JSON form ({"lo","hi"})
+// is part of the distributed-sweep wire format: work units carry the shard
+// range they cover (internal/dist).
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
 
 // Len returns the number of indices in the range.
 func (r Range) Len() int { return r.Hi - r.Lo }

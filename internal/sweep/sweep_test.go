@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -380,5 +381,25 @@ func TestMemoCancelledBuildRetried(t *testing.T) {
 func BenchmarkMapOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = Map(64, 0, func(i int) (int, error) { return i, nil })
+	}
+}
+
+// TestRangeWireFormat pins Range's JSON form: it is part of the
+// distributed-sweep wire protocol (work units carry their shard range), so
+// the field names must not drift.
+func TestRangeWireFormat(t *testing.T) {
+	data, err := json.Marshal(Range{Lo: 3, Hi: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"lo":3,"hi":9}` {
+		t.Fatalf("Range wire form = %s, want {\"lo\":3,\"hi\":9}", data)
+	}
+	var r Range
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r != (Range{Lo: 3, Hi: 9}) {
+		t.Fatalf("round trip = %+v", r)
 	}
 }
