@@ -1,45 +1,54 @@
 GO ?= go
 
-.PHONY: ci vet staticcheck build test race bench bench-compile golden
+# Bare `make` keeps running the full gate, as before `help` moved to the
+# top of the file.
+.DEFAULT_GOAL := ci
+
+.PHONY: help ci vet staticcheck build test race bench bench-compile golden
+
+# help is self-maintaining: annotate a target with a trailing `## text`
+# and it appears here.
+help: ## list the Makefile verbs and what they do
+	@grep -E '^[a-zA-Z_-]+:.*?## ' $(MAKEFILE_LIST) | awk 'BEGIN {FS = ":.*?## "}; {printf "  %-14s %s\n", $$1, $$2}'
 
 # ci is the gate: vet, staticcheck, build, race-enabled tests, and a
 # one-iteration pass over every benchmark as a compile-and-run check — the
 # same chain .github/workflows/ci.yml runs, so a green `make ci` means a
 # green CI run.
-ci: vet staticcheck build race bench-compile
+ci: vet staticcheck build race bench-compile ## the full CI gate (vet + staticcheck + build + race tests + bench compile)
 
 # staticcheck runs the linter when it is installed (CI installs it; local
 # boxes may not have it). Findings fail the target; only a missing binary
 # is skipped.
-staticcheck:
+staticcheck: ## lint with staticcheck when installed (CI always runs it)
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-vet:
+vet: ## go vet every package
 	$(GO) vet ./...
 
-build:
+build: ## compile every package and binary
 	$(GO) build ./...
 
-test:
+test: ## run the tier-1 test suite
 	$(GO) test ./...
 
-race:
+race: ## run the test suite under the race detector
 	$(GO) test -race ./...
 
 # bench-compile runs every benchmark exactly once — cheap enough for CI,
 # and it catches benchmarks that bit-rot against API changes.
-bench-compile:
+bench-compile: ## run every benchmark once as a compile-and-run check
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # bench is the real measurement run.
-bench:
+bench: ## run the real benchmark measurements
 	$(GO) test -bench=. -benchmem .
 
 # golden regenerates checked-in golden files (scenario batch output and the
 # NDJSON stream pinned against it).
-golden:
+golden: ## regenerate the checked-in golden files
 	$(GO) test ./internal/scenario -run 'TestBatchGolden|TestStreamGolden' -update

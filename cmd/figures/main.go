@@ -4,9 +4,15 @@
 //
 // With -stream, artifacts are emitted as NDJSON (one {"id","ascii","csv"}
 // object per line, in registry order, written as each experiment
-// completes) instead of the buffered ASCII report. SIGINT/SIGTERM cancel
-// cleanly (partial-progress note on stderr, exit 130); -timeout bounds the
-// run the same way.
+// completes) instead of the buffered ASCII report — the same frames a
+// distributed `sweepd serve -experiments` run emits. With -checkpoint
+// (requires -stream), every completed line is also appended to a journal
+// keyed by a content hash of the selected artifact set; adding -resume
+// replays that journal on startup, skips (and does not re-emit) finished
+// experiments, and refuses to resume against a different selection — a
+// killed run restarted with the same command line completes exactly the
+// remainder. SIGINT/SIGTERM cancel cleanly (partial-progress note on
+// stderr, exit 130); -timeout bounds the run the same way.
 //
 // Usage:
 //
@@ -15,9 +21,11 @@
 //	figures -outdir results # also write one CSV per artifact
 //	figures -plot           # include coarse terminal plots for figures
 //	figures -only fig2      # compute and print a single artifact
+//	figures -only fig1,fig2 # or several (registry order)
 //	figures -list           # print artifact IDs without running anything
 //	figures -workers 1      # run experiments one at a time
 //	figures -quick -stream  # NDJSON artifact stream on stdout
+//	figures -stream -checkpoint run.journal -resume   # crash-tolerant run
 //	figures -progress       # per-experiment completion ticker on stderr
 //	figures -timeout 30m    # bound the whole run
 package main
@@ -30,10 +38,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/exp"
+	"repro/internal/work"
 )
 
 func main() {
@@ -42,31 +52,38 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// streamLine is the NDJSON shape of one artifact in -stream mode.
-type streamLine struct {
-	ID    string `json:"id"`
-	ASCII string `json:"ascii"`
-	CSV   string `json:"csv"`
-}
-
 // run is the testable entry point: context, flags and IO come from the
 // caller and the exit status is returned instead of calling os.Exit.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick    = fs.Bool("quick", false, "use shorter workload simulations")
-		outdir   = fs.String("outdir", "", "directory for CSV output (created if missing)")
-		plot     = fs.Bool("plot", false, "render coarse ASCII plots for figures")
-		only     = fs.String("only", "", "run only the artifact with this ID")
-		list     = fs.Bool("list", false, "list artifact IDs and exit")
-		ext      = fs.Bool("ext", false, "also run the extension/ablation experiments")
-		workers  = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
-		stream   = fs.Bool("stream", false, "emit artifacts as NDJSON, one line per experiment as it completes")
-		progress = fs.Bool("progress", false, "report per-experiment completion on stderr")
-		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
+		quick      = fs.Bool("quick", false, "use shorter workload simulations")
+		accesses   = fs.Int("accesses", 0, "override the trace length per (workload, L1 size) simulation (0 = profile default)")
+		outdir     = fs.String("outdir", "", "directory for CSV output (created if missing)")
+		plot       = fs.Bool("plot", false, "render coarse ASCII plots for figures")
+		only       = fs.String("only", "", "run only the artifacts with these comma-separated IDs")
+		list       = fs.Bool("list", false, "list artifact IDs and exit")
+		ext        = fs.Bool("ext", false, "also run the extension/ablation experiments")
+		workers    = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
+		stream     = fs.Bool("stream", false, "emit artifacts as NDJSON, one line per experiment as it completes")
+		checkpoint = fs.String("checkpoint", "", "journal completed artifacts to this file (requires -stream)")
+		resume     = fs.Bool("resume", false, "replay the -checkpoint journal and run only unfinished experiments")
+		progress   = fs.Bool("progress", false, "report per-experiment completion on stderr")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *resume && *checkpoint == "":
+		fmt.Fprintln(stderr, "figures: -resume requires -checkpoint")
+		return 2
+	case *checkpoint != "" && !*stream:
+		fmt.Fprintln(stderr, "figures: -checkpoint requires -stream (the journal records NDJSON lines)")
+		return 2
+	case *checkpoint != "" && *ext:
+		fmt.Fprintln(stderr, "figures: -checkpoint does not cover -ext artifacts (they are outside the registry batch)")
 		return 2
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
@@ -79,19 +96,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *only != "" {
+	var onlyIDs []string
+	onlySet := make(map[string]bool)
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			onlyIDs = append(onlyIDs, id)
+			onlySet[id] = true
+		}
+	}
+	if len(onlySet) > 0 {
 		var sel []exp.Experiment
+		matched := make(map[string]bool)
 		for _, x := range exps {
-			if x.ID == *only {
+			if onlySet[x.ID] {
 				sel = append(sel, x)
+				matched[x.ID] = true
 			}
 		}
-		// Extension artifacts are not in the registry; with -ext the ID may
-		// still match one of them, so an empty selection is only fatal when
-		// extensions are off.
-		if len(sel) == 0 && !*ext {
-			fmt.Fprintf(stderr, "figures: unknown artifact ID %q (try -list)\n", *only)
-			return 1
+		// Extension artifacts are not in the registry; with -ext an ID may
+		// still match one of them, so unmatched IDs are only fatal when
+		// extensions are off. Every ID is checked: silently dropping one
+		// typo'd entry of a multi-ID selection would under-run the request
+		// (and, with -checkpoint, pin the reduced selection into the
+		// journal hash).
+		if !*ext {
+			for _, id := range onlyIDs {
+				if !matched[id] {
+					fmt.Fprintf(stderr, "figures: unknown artifact ID %q (try -list)\n", id)
+					return 1
+				}
+			}
 		}
 		exps = sel
 	}
@@ -99,6 +133,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	env := exp.NewEnv()
 	if *quick {
 		env = exp.NewQuickEnv()
+	}
+	if *accesses > 0 {
+		env.Accesses = *accesses
 	}
 	env.Workers = *workers
 	var tickerW io.Writer
@@ -111,7 +148,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Skip the extension bundle when -only already matched a registry
 	// artifact: extensions are built all-or-nothing, and computing them
 	// just to filter their output away defeats -only's purpose.
-	if *ext && *only != "" && len(exps) > 0 {
+	if *ext && len(onlySet) > 0 && len(exps) > 0 {
 		*ext = false
 	}
 	if *outdir != "" {
@@ -129,7 +166,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "figures: -plot is not available with -stream (the ascii field carries the table form)")
 			return 2
 		}
-		return runStream(ctx, env, exps, streamOpts{outdir: *outdir, ext: *ext}, prog, stdout, stderr, start)
+		so := streamOpts{outdir: *outdir, ext: *ext, checkpoint: *checkpoint, resume: *resume, workers: *workers}
+		return runStream(ctx, env, exps, so, prog, stdout, stderr, start)
 	}
 
 	arts, err := env.RunExperimentsCtx(ctx, exps)
@@ -146,7 +184,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	printed := 0
 	for _, a := range arts {
-		if *only != "" && a.ID != *only {
+		if len(onlySet) > 0 && !onlySet[a.ID] {
 			continue
 		}
 		printed++
@@ -163,7 +201,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  [wrote %s]\n\n", path)
 		}
 	}
-	if *only != "" && printed == 0 {
+	if len(onlySet) > 0 && printed == 0 {
 		fmt.Fprintf(stderr, "figures: unknown artifact ID %q (try -list)\n", *only)
 		return 1
 	}
@@ -171,52 +209,66 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// streamOpts carries the display flags runStream honors alongside the
-// NDJSON lines.
+// streamOpts carries the flags runStream honors alongside the NDJSON
+// lines.
 type streamOpts struct {
-	outdir string // also write one CSV per artifact, as in buffered mode
-	ext    bool   // stream the extension bundle after the registry
+	outdir     string // also write one CSV per artifact, as in buffered mode
+	ext        bool   // stream the extension bundle after the registry
+	checkpoint string // journal path ("" = no checkpointing)
+	resume     bool   // replay the journal before running
+	workers    int    // driver fan-out
 }
 
 // runStream emits artifacts as NDJSON on stdout as they complete, keeping
-// stdout machine-consumable (the run summary goes to stderr). A write
-// error (e.g. a broken pipe) cancels the remaining experiments. With
-// so.ext the extension artifacts follow the registry stream, in bundle
-// order; with so.outdir each artifact's CSV is also written as it lands.
+// stdout machine-consumable (the run summary goes to stderr). The
+// selection runs as an experiment work batch through the unified driver,
+// which owns ordering, backpressure, and — with so.checkpoint — the
+// journal-before-emit crash recovery shared with `scenario -checkpoint`
+// and `sweepd serve -checkpoint`. A write error (e.g. a broken pipe)
+// cancels the remaining experiments. With so.ext the extension artifacts
+// follow the registry stream, in bundle order; with so.outdir each
+// artifact's CSV is also written as it lands.
 func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so streamOpts, prog *cli.Progress, stdout, stderr io.Writer, start time.Time) int {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	enc := json.NewEncoder(stdout)
-	emitted := 0
-	var emitErr error
-	emit := func(a exp.Artifact) {
-		if emitErr != nil {
-			return
+	sink := &artifactSink{w: stdout, outdir: so.outdir}
+	if len(exps) > 0 {
+		ids := make([]string, len(exps))
+		for i, x := range exps {
+			ids[i] = x.ID
 		}
-		if emitErr = enc.Encode(streamLine{ID: a.ID, ASCII: a.Render(), CSV: a.CSV()}); emitErr != nil {
-			cancel()
-			return
+		wb, err := exp.NewBatch(ids, env)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
 		}
-		emitted++
-		if so.outdir != "" {
-			path := filepath.Join(so.outdir, a.ID+".csv")
-			if emitErr = os.WriteFile(path, []byte(a.CSV()), 0o644); emitErr != nil {
-				cancel()
+		opts := work.Options{Workers: so.workers, Progress: prog.Hook()}
+		if so.checkpoint != "" {
+			jr, done, err := work.OpenJournal(so.checkpoint, wb, so.resume)
+			if err != nil {
+				fmt.Fprintln(stderr, "figures:", err)
+				return 1
 			}
+			defer jr.Close()
+			if len(done) > 0 {
+				fmt.Fprintf(stderr, "figures: resuming, %d/%d experiments already journaled\n", len(done), wb.Len())
+				// Re-write the replayed artifacts' CSV sidecars: the crash
+				// may have landed between the journal append and the
+				// sidecar write, and a resumed run never re-runs those
+				// indices — the journal line is the only place the CSV
+				// still exists.
+				if so.outdir != "" {
+					for _, line := range done {
+						if err := writeSidecar(so.outdir, line); err != nil {
+							fmt.Fprintln(stderr, "figures:", err)
+							return 1
+						}
+					}
+				}
+			}
+			opts.Journal, opts.Done = jr, done
 		}
-	}
-
-	ch, wait := env.StreamExperiments(ctx, exps)
-	for a := range ch {
-		emit(a) // after an emit error this is the post-cancel drain
-	}
-	err := wait()
-	if emitErr != nil {
-		fmt.Fprintln(stderr, "figures:", emitErr)
-		return 1
-	}
-	if err != nil {
-		return cli.Report("figures", err, prog, stderr)
+		if err := work.Run(ctx, wb, opts, sink); err != nil {
+			return cli.Report("figures", err, prog, stderr)
+		}
 	}
 	if so.ext {
 		extra, err := env.ExtensionsCtx(ctx)
@@ -224,13 +276,49 @@ func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so stre
 			return cli.Report("figures", err, prog, stderr)
 		}
 		for _, a := range extra {
-			emit(a)
-		}
-		if emitErr != nil {
-			fmt.Fprintln(stderr, "figures:", emitErr)
-			return 1
+			line, err := a.NDJSONLine()
+			if err == nil {
+				_, err = sink.Write(append(line, '\n'))
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "figures:", err)
+				return 1
+			}
 		}
 	}
-	fmt.Fprintf(stderr, "figures: streamed %d artifacts in %v\n", emitted, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "figures: streamed %d artifacts in %v\n", sink.count, time.Since(start).Round(time.Millisecond))
 	return 0
+}
+
+// artifactSink is the stream's sink: it forwards each NDJSON line to
+// stdout, counts emissions for the run summary, and (with outdir) writes
+// each artifact's CSV sidecar as its line lands, as buffered mode does.
+// The driver hands it exactly one line per Write.
+type artifactSink struct {
+	w      io.Writer
+	outdir string
+	count  int
+}
+
+func (s *artifactSink) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	if err != nil {
+		return n, err
+	}
+	s.count++
+	if s.outdir != "" {
+		if err := writeSidecar(s.outdir, p); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// writeSidecar writes one artifact line's CSV file into outdir.
+func writeSidecar(outdir string, line []byte) error {
+	var l exp.Line
+	if err := json.Unmarshal(line, &l); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outdir, l.ID+".csv"), []byte(l.CSV), 0o644)
 }

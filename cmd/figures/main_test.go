@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/cli"
+	"repro/internal/exp"
 )
 
 func TestRunList(t *testing.T) {
@@ -43,6 +44,16 @@ func TestRunOnlyUnknownID(t *testing.T) {
 	if !strings.Contains(stderr.String(), "fig99") {
 		t.Errorf("diagnostic does not name the bad ID: %q", stderr.String())
 	}
+	// A typo'd entry of a multi-ID selection must fail too, even though
+	// the other entries match — silently dropping it would under-run the
+	// request.
+	stderr.Reset()
+	if code := run(t.Context(), []string{"-only", "tab-fit,tab-missrate"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("partially unknown selection: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), `"tab-missrate"`) {
+		t.Errorf("diagnostic does not name the bad ID: %q", stderr.String())
+	}
 }
 
 func TestRunBadFlag(t *testing.T) {
@@ -64,7 +75,7 @@ func TestRunStreamSingleArtifact(t *testing.T) {
 	if len(lines) != 1 {
 		t.Fatalf("want 1 NDJSON line, got %d", len(lines))
 	}
-	var got streamLine
+	var got exp.Line
 	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
 		t.Fatalf("stream line is not JSON: %v\n%s", err, lines[0])
 	}
@@ -99,6 +110,141 @@ func TestRunTimeout(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "timed out") {
 		t.Errorf("no timeout diagnostic: %q", stderr.String())
+	}
+}
+
+// tinyStreamArgs selects two cheap artifacts at a tiny trace length —
+// fast enough to run the stream pipeline repeatedly.
+var tinyStreamArgs = []string{"-quick", "-accesses", "20000", "-only", "tab-fit,tab-missrates", "-stream"}
+
+// TestRunCheckpointResume simulates the kill/restart cycle for figures,
+// mirroring cmd/scenario's: a checkpointed run whose journal is cut back
+// to one completed artifact (with a torn second entry, as a kill
+// mid-append leaves) is restarted with -resume; the restarted run
+// re-emits nothing already journaled, completes the remainder, and
+// prefix + remainder equals the uncheckpointed stream.
+func TestRunCheckpointResume(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "figures.journal")
+
+	// Reference: the full stream, no checkpointing.
+	var full bytes.Buffer
+	if code := run(t.Context(), tinyStreamArgs, &full, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("reference run: exit %d", code)
+	}
+	lines := strings.SplitAfter(full.String(), "\n")
+	if len(lines) != 3 || lines[2] != "" {
+		t.Fatalf("reference run produced %d lines", len(lines)-1)
+	}
+
+	// First checkpointed run (completes everything, byte-identically).
+	args := append(append([]string{}, tinyStreamArgs...), "-checkpoint", jpath)
+	var first bytes.Buffer
+	if code := run(t.Context(), args, &first, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("checkpointed run: exit %d", code)
+	}
+	if first.String() != full.String() {
+		t.Errorf("checkpointed output differs from plain stream:\n got: %q\nwant: %q", first.String(), full.String())
+	}
+
+	// Simulate the kill: journal keeps its header and first entry plus a
+	// torn second entry.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.SplitAfter(string(data), "\n")
+	torn := jlines[0] + jlines[1] + `{"i":1,"line":{"id":"tab`
+	if err := os.WriteFile(jpath, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with -resume (and -outdir): nothing journaled is re-emitted,
+	// and the replayed artifact's CSV sidecar is regenerated from the
+	// journal line — the crash may have landed before the sidecar write,
+	// and the resumed run never re-runs that index.
+	outdir := t.TempDir()
+	var resumed, stderr bytes.Buffer
+	code := run(t.Context(), append(append([]string{}, args...), "-resume", "-outdir", outdir), &resumed, &stderr)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if want := lines[1]; resumed.String() != want {
+		t.Errorf("resumed run must emit exactly the remainder:\n got: %q\nwant: %q", resumed.String(), want)
+	}
+	if !strings.Contains(stderr.String(), "resuming, 1/2 experiments already journaled") {
+		t.Errorf("missing resume diagnostic: %q", stderr.String())
+	}
+	for _, id := range []string{"tab-missrates", "tab-fit"} {
+		if _, err := os.Stat(filepath.Join(outdir, id+".csv")); err != nil {
+			t.Errorf("resumed run must leave a complete sidecar set: %v", err)
+		}
+	}
+
+	// A second resume has nothing left to do and emits nothing.
+	var empty bytes.Buffer
+	if code := run(t.Context(), append(append([]string{}, args...), "-resume"), &empty, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("no-op resume: exit %d", code)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("fully journaled selection re-emitted %q", empty.String())
+	}
+}
+
+// TestRunResumeRefusesDifferentSelection pins the safety check: resuming a
+// journal against a different artifact selection fails loudly.
+func TestRunResumeRefusesDifferentSelection(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "figures.journal")
+	seed := []string{"-quick", "-accesses", "20000", "-only", "tab-fit", "-stream", "-checkpoint", jpath}
+	if code := run(t.Context(), seed, &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("seed run failed")
+	}
+	other := []string{"-quick", "-accesses", "20000", "-only", "tab-missrates", "-stream", "-checkpoint", jpath, "-resume"}
+	var stderr bytes.Buffer
+	if code := run(t.Context(), other, &bytes.Buffer{}, &stderr); code != 1 {
+		t.Fatalf("mismatched resume: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "batch hash mismatch") {
+		t.Errorf("missing hash-mismatch diagnostic: %q", stderr.String())
+	}
+}
+
+// TestRunCheckpointFlagValidation pins the flag contract.
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-resume"}, &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-resume without -checkpoint: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(t.Context(), []string{"-checkpoint", "x.journal"}, &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-checkpoint without -stream: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(t.Context(), []string{"-stream", "-ext", "-checkpoint", "x.journal"}, &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-checkpoint with -ext: exit %d, want 2", code)
+	}
+}
+
+// TestRunOnlyMultipleIDs checks a comma-separated -only selects several
+// artifacts in registry order.
+func TestRunOnlyMultipleIDs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), tinyStreamArgs, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d", len(lines))
+	}
+	var first, second exp.Line
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	// Registry order, not flag order: tab-missrates precedes tab-fit.
+	if first.ID != "tab-missrates" || second.ID != "tab-fit" {
+		t.Errorf("stream order = %s, %s; want tab-missrates, tab-fit", first.ID, second.ID)
 	}
 }
 

@@ -50,9 +50,11 @@ import (
 	"os"
 	"time"
 
+	"encoding/json"
+
 	"repro/internal/cli"
-	"repro/internal/dist/journal"
 	"repro/internal/scenario"
+	"repro/internal/work"
 )
 
 func main() {
@@ -132,38 +134,33 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
-		opts := scenario.StreamOptions{Workers: o.workers, Progress: prog.Hook()}
+		// Every batch mode runs through the unified driver: -stream is
+		// work.Run, -checkpoint adds its journal, and the buffered
+		// document is work.Collect reassembled.
+		opts := work.Options{Workers: o.workers, Progress: prog.Hook()}
 		if o.checkpoint != "" {
-			h, err := b.JournalHeader()
-			if err != nil {
-				fmt.Fprintln(stderr, "scenario:", err)
-				return 1
-			}
-			jr, done, err := journal.Open(o.checkpoint, h, o.resume)
+			jr, done, err := work.OpenJournal(o.checkpoint, b, o.resume)
 			if err != nil {
 				fmt.Fprintln(stderr, "scenario:", err)
 				return 1
 			}
 			defer jr.Close()
 			if len(done) > 0 {
-				fmt.Fprintf(stderr, "scenario: resuming, %d/%d scenarios already journaled\n", len(done), len(b.Scenarios))
+				fmt.Fprintf(stderr, "scenario: resuming, %d/%d scenarios already journaled\n", len(done), b.Len())
 			}
-			if err := scenario.StreamNDJSONCheckpointed(ctx, b, opts, stdout, jr, done); err != nil {
-				return cli.Report("scenario", err, prog, stderr)
-			}
-			return 0
+			opts.Journal, opts.Done = jr, done
 		}
 		if o.stream {
-			if err := scenario.StreamNDJSON(ctx, b, opts, stdout); err != nil {
+			if err := work.Run(ctx, b, opts, stdout); err != nil {
 				return cli.Report("scenario", err, prog, stderr)
 			}
 			return 0
 		}
-		res, err := scenario.RunBatchCtx(ctx, b, o.workers)
+		lines, err := work.Collect(ctx, b, opts)
 		if err != nil {
 			return cli.Report("scenario", err, prog, stderr)
 		}
-		out, err := res.Render()
+		out, err := renderBatchDoc(lines)
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
@@ -202,4 +199,26 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	fmt.Fprintln(stdout, out)
 	return 0
+}
+
+// renderBatchDoc reassembles the driver's NDJSON lines into the buffered
+// {"scenarios": [...]} document. The result is byte-identical to
+// marshalling a scenario.BatchResult with two-space indentation:
+// MarshalIndent is Marshal followed by Indent, and each driver line is
+// already the compact marshal of its result.
+func renderBatchDoc(lines [][]byte) (string, error) {
+	var compact bytes.Buffer
+	compact.WriteString(`{"scenarios":[`)
+	for i, line := range lines {
+		if i > 0 {
+			compact.WriteByte(',')
+		}
+		compact.Write(line)
+	}
+	compact.WriteString(`]}`)
+	var out bytes.Buffer
+	if err := json.Indent(&out, compact.Bytes(), "", "  "); err != nil {
+		return "", err
+	}
+	return out.String(), nil
 }

@@ -1,27 +1,42 @@
-// Command sweepd distributes a scenario sweep across processes and
-// machines: `sweepd serve` coordinates — it splits the batch into work
-// units, leases them to workers over HTTP, and writes the reassembled
-// NDJSON results to stdout in input order, byte-identical to what
-// `scenario -stream` would emit for the same batch — and `sweepd work`
-// executes: it leases units from a coordinator, runs them, and reports the
+// Command sweepd distributes a sweep across processes and machines:
+// `sweepd serve` coordinates — it splits the workload into units, leases
+// them to workers over HTTP, and writes the reassembled NDJSON results to
+// stdout in input order, byte-identical to what the sequential run would
+// emit — and `sweepd work` executes: it leases units from a coordinator,
+// rebuilds them through the work registry, runs them, and reports the
 // result lines, until the batch is done. Run one serve and as many work
 // processes as you have cores and machines.
+//
+// The workload is any registered payload kind: a scenario batch (the
+// default; input as for cmd/scenario) or, with -experiments, units of the
+// experiment registry emitting the same {"id","ascii","csv"} frames as
+// `figures -stream`.
 //
 // The coordinator is crash-tolerant on both sides: a worker that dies
 // mid-unit loses only its lease (the unit is re-leased when the lease
 // expires), and with -checkpoint the coordinator journals every completed
 // line so `serve -resume` after a kill completes exactly the remainder —
-// against the same journal format `scenario -checkpoint` writes.
+// against the same journal format `scenario -checkpoint` and `figures
+// -checkpoint` write. `sweepd journal` reassembles the complete ordered
+// result set from such a journal, because the journal — not any one run's
+// stdout — is the authoritative record across restarts.
 //
-// SIGINT/SIGTERM end either process cleanly (exit 130); -timeout bounds a
+// With -token on both sides the wire protocol requires `Authorization:
+// Bearer <token>` (401 otherwise) — the minimum gate before a coordinator
+// listens beyond one trusted host; put TLS in front for untrusted
+// networks.
+//
+// SIGINT/SIGTERM end any subcommand cleanly (exit 130); -timeout bounds a
 // run the same way.
 //
 // Usage:
 //
 //	sweepd serve -f examples/scenarios.json -addr :8080
 //	sweepd serve -f big.json -units 64 -checkpoint big.journal -resume > results.ndjson
+//	sweepd serve -experiments -ids fig1,fig2 -token s3cret
 //	sweepd work -coordinator http://host:8080
-//	sweepd work -coordinator http://host:8080 -workers 4 -progress
+//	sweepd work -coordinator http://host:8080 -workers 4 -token s3cret -progress
+//	sweepd journal -f big.json -checkpoint big.journal > results.ndjson
 package main
 
 import (
@@ -34,12 +49,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/dist"
-	"repro/internal/dist/journal"
+	"repro/internal/exp"
 	"repro/internal/scenario"
+	"repro/internal/work"
 )
 
 func main() {
@@ -53,17 +70,113 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	return cli.Dispatch(ctx, "sweepd", []cli.Command{
 		{Name: "serve", Summary: "coordinate a distributed sweep and emit ordered NDJSON results", Run: runServe},
 		{Name: "work", Summary: "lease and execute work units from a coordinator", Run: runWork},
+		{Name: "journal", Summary: "reassemble the ordered NDJSON result set from a checkpoint journal", Run: runJournal},
 	}, args, stdin, stdout, stderr)
+}
+
+// inputOptions select the workload — the flags shared by serve and
+// journal, which must both resolve the exact batch (and, for experiments,
+// the exact environment scale) a checkpoint pins.
+type inputOptions struct {
+	file        string
+	experiments bool
+	ids         string
+	quick       bool
+	accesses    int
+}
+
+// registerInputFlags wires the workload-selection flags.
+func registerInputFlags(fs *flag.FlagSet, o *inputOptions) {
+	fs.StringVar(&o.file, "f", "", "scenario JSON file, single or batch (default stdin)")
+	fs.BoolVar(&o.experiments, "experiments", false, "work on experiment-registry units instead of a scenario batch")
+	fs.StringVar(&o.ids, "ids", "", "comma-separated experiment IDs with -experiments (default: the whole registry)")
+	fs.BoolVar(&o.quick, "quick", false, "pin the experiments batch to the quick environment scale (match the fleet and any figures checkpoint)")
+	fs.IntVar(&o.accesses, "accesses", 0, "pin the experiments batch to this trace length (0 = profile default)")
+}
+
+// experimentsEnv resolves the environment scale the input flags declare —
+// the scale the batch hash pins, which must match the fleet's execution
+// scale and any `figures -checkpoint` journal being resumed or replayed.
+func experimentsEnv(o inputOptions) *exp.Env {
+	env := exp.NewEnv()
+	if o.quick {
+		env = exp.NewQuickEnv()
+	}
+	if o.accesses > 0 {
+		env.Accesses = o.accesses
+	}
+	return env
+}
+
+// loadWorkBatch resolves the selected workload into a work.Batch plus the
+// item noun for diagnostics.
+func loadWorkBatch(o inputOptions, stdin io.Reader) (work.Batch, string, error) {
+	if o.experiments {
+		// -ids selections are normalized to registry order, exactly as
+		// `figures -only` selects — so the batch (and therefore the
+		// checkpoint hash) is the same no matter how the IDs were typed,
+		// and a `figures -checkpoint` journal replays here verbatim.
+		registry := exp.Experiments()
+		var ids []string
+		if o.ids == "" {
+			for _, x := range registry {
+				ids = append(ids, x.ID)
+			}
+		} else {
+			known := make(map[string]bool, len(registry))
+			for _, x := range registry {
+				known[x.ID] = true
+			}
+			want := make(map[string]bool)
+			for _, id := range strings.Split(o.ids, ",") {
+				if id = strings.TrimSpace(id); id == "" {
+					continue
+				} else if !known[id] {
+					return nil, "", fmt.Errorf("unknown experiment id %q", id)
+				}
+				want[id] = true
+			}
+			for _, x := range registry {
+				if want[x.ID] {
+					ids = append(ids, x.ID)
+				}
+			}
+		}
+		b, err := exp.NewBatch(ids, experimentsEnv(o))
+		return b, "experiments", err
+	}
+	b, err := loadBatch(o.file, stdin)
+	return b, "scenarios", err
+}
+
+// validateInput enforces the workload-flag pairing shared by serve and
+// journal; false means a usage error was reported. Every mispairing is a
+// hard error — silently ignoring a flag the operator named would run (or
+// hash) a different workload than they asked for.
+func validateInput(o inputOptions, stderr io.Writer) bool {
+	switch {
+	case o.ids != "" && !o.experiments:
+		fmt.Fprintln(stderr, "sweepd: -ids requires -experiments")
+		return false
+	case (o.quick || o.accesses > 0) && !o.experiments:
+		fmt.Fprintln(stderr, "sweepd: -quick/-accesses require -experiments (scenario batches carry their own accesses)")
+		return false
+	case o.file != "" && o.experiments:
+		fmt.Fprintln(stderr, "sweepd: -f does not apply to -experiments (use -ids to select artifacts)")
+		return false
+	}
+	return true
 }
 
 // serveOptions are the coordinator flags.
 type serveOptions struct {
-	file       string
+	input      inputOptions
 	addr       string
 	units      int
 	lease      time.Duration
 	checkpoint string
 	resume     bool
+	token      string
 	progress   bool
 	timeout    time.Duration
 }
@@ -72,13 +185,14 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	fs := flag.NewFlagSet("sweepd serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var o serveOptions
-	fs.StringVar(&o.file, "f", "", "scenario JSON file, single or batch (default stdin)")
+	registerInputFlags(fs, &o.input)
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address for the worker protocol")
 	fs.IntVar(&o.units, "units", 0, "work units to split the batch into (0 = GOMAXPROCS); more units = finer re-lease granularity")
 	fs.DurationVar(&o.lease, "lease", 30*time.Second, "lease TTL; a worker silent this long forfeits its unit")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed lines to this file")
 	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and serve only unfinished work")
-	fs.BoolVar(&o.progress, "progress", false, "report per-scenario completion on stderr")
+	fs.StringVar(&o.token, "token", "", "shared secret; workers must send it as Authorization: Bearer")
+	fs.BoolVar(&o.progress, "progress", false, "report per-item completion on stderr")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,15 +201,18 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 		fmt.Fprintln(stderr, "sweepd: -resume requires -checkpoint")
 		return 2
 	}
+	if !validateInput(o.input, stderr) {
+		return 2
+	}
 	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
 	defer cancel()
 
-	b, err := loadBatch(o.file, stdin)
+	b, noun, err := loadWorkBatch(o.input, stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "sweepd:", err)
 		return 1
 	}
-	spec, err := dist.ScenarioSpec(b)
+	spec, err := dist.SpecOf(b)
 	if err != nil {
 		fmt.Fprintln(stderr, "sweepd:", err)
 		return 1
@@ -105,19 +222,18 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	if o.progress {
 		tickerW = stderr
 	}
-	prog := cli.NewProgress("sweepd", "scenarios", tickerW)
+	prog := cli.NewProgress("sweepd", noun, tickerW)
 	cfg := dist.Config{Units: o.units, LeaseTTL: o.lease, Progress: prog.Hook()}
 
 	if o.checkpoint != "" {
-		h := journal.Header{Kind: dist.KindScenarioBatch, BatchSHA256: spec.Hash, N: spec.N}
-		jr, done, err := journal.Open(o.checkpoint, h, o.resume)
+		jr, done, err := work.OpenJournal(o.checkpoint, b, o.resume)
 		if err != nil {
 			fmt.Fprintln(stderr, "sweepd:", err)
 			return 1
 		}
 		defer jr.Close()
 		if len(done) > 0 {
-			fmt.Fprintf(stderr, "sweepd: resuming, %d/%d scenarios already journaled\n", len(done), spec.N)
+			fmt.Fprintf(stderr, "sweepd: resuming, %d/%d %s already journaled\n", len(done), spec.N, noun)
 		}
 		cfg.Journal, cfg.Done = jr, done
 	}
@@ -132,12 +248,12 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 		fmt.Fprintln(stderr, "sweepd:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: c.Handler()}
+	srv := &http.Server{Handler: dist.RequireToken(o.token, c.Handler())}
 	defer srv.Close()
 	// Serve returns ErrServerClosed when the deferred Close runs; the
 	// coordinator's Wait is the run's real verdict.
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Fprintf(stderr, "sweepd: serving %d scenarios on http://%s\n", spec.N, ln.Addr())
+	fmt.Fprintf(stderr, "sweepd: serving %d %s on http://%s\n", spec.N, noun, ln.Addr())
 
 	var writeErr error
 	for line := range c.Results() {
@@ -168,6 +284,9 @@ type workOptions struct {
 	id          string
 	workers     int
 	poll        time.Duration
+	token       string
+	quick       bool
+	accesses    int
 	progress    bool
 	timeout     time.Duration
 }
@@ -178,8 +297,11 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 	var o workOptions
 	fs.StringVar(&o.coordinator, "coordinator", "", "coordinator base URL, e.g. http://host:8080 (required)")
 	fs.StringVar(&o.id, "id", "", "worker id (default hostname-pid)")
-	fs.IntVar(&o.workers, "workers", 0, "concurrent scenarios within a unit (0 = GOMAXPROCS)")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent items within a unit (0 = GOMAXPROCS)")
 	fs.DurationVar(&o.poll, "poll", 200*time.Millisecond, "delay between lease attempts when the coordinator has nothing free")
+	fs.StringVar(&o.token, "token", "", "shared secret sent as Authorization: Bearer (match the coordinator's -token)")
+	fs.BoolVar(&o.quick, "quick", false, "execute experiment units against the quick environment (the whole fleet must agree)")
+	fs.IntVar(&o.accesses, "accesses", 0, "execute experiment units at this trace length (0 = profile default; the whole fleet must agree)")
 	fs.BoolVar(&o.progress, "progress", false, "report per-unit completion on stderr")
 	fs.DurationVar(&o.timeout, "timeout", 0, "stop working after this duration (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
@@ -196,18 +318,23 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 		}
 		o.id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	if o.quick || o.accesses > 0 {
+		scale := inputOptions{quick: o.quick, accesses: o.accesses}
+		exp.SetProcessEnv(func() *exp.Env { return experimentsEnv(scale) })
+	}
 	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
 	defer cancel()
 
 	w := &dist.Worker{
 		Coordinator: o.coordinator,
 		ID:          o.id,
-		Exec:        dist.ScenarioExecutor(o.workers),
+		Exec:        dist.RegistryExecutor(o.workers),
 		Poll:        o.poll,
+		Token:       o.token,
 	}
 	if o.progress {
 		w.OnUnit = func(u dist.Unit) {
-			fmt.Fprintf(stderr, "sweepd: %s finished unit %d (scenarios %d-%d)\n", o.id, u.ID, u.Range.Lo, u.Range.Hi-1)
+			fmt.Fprintf(stderr, "sweepd: %s finished unit %d (items %d-%d)\n", o.id, u.ID, u.Range.Lo, u.Range.Hi-1)
 		}
 	}
 	if err := w.Run(ctx); err != nil {
@@ -221,6 +348,58 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 		return cli.Report("sweepd", err, prog, stderr)
 	}
 	fmt.Fprintf(stderr, "sweepd: %s done\n", o.id)
+	return 0
+}
+
+// runJournal is `sweepd journal` — journal cat: it replays a checkpoint
+// journal read-only, verifies it pins exactly the given workload (kind,
+// content hash, item count), and writes the journaled NDJSON lines to
+// stdout in input order. The journal, not any one run's stdout, is the
+// authoritative record of a checkpointed sweep across restarts; this is
+// how the complete result set is recovered from it.
+func runJournal(_ context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepd journal", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var in inputOptions
+	registerInputFlags(fs, &in)
+	checkpoint := fs.String("checkpoint", "", "journal file to read (required)")
+	partial := fs.Bool("partial", false, "exit 0 even when the journal is incomplete (emit what is journaled)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *checkpoint == "" {
+		fmt.Fprintln(stderr, "sweepd: journal requires -checkpoint")
+		return 2
+	}
+	if !validateInput(in, stderr) {
+		return 2
+	}
+	b, noun, err := loadWorkBatch(in, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	done, err := work.ReplayJournal(*checkpoint, b)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	for i := 0; i < b.Len(); i++ {
+		line, ok := done[i]
+		if !ok {
+			continue
+		}
+		if _, err := stdout.Write(append(line, '\n')); err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+	}
+	if len(done) < b.Len() {
+		fmt.Fprintf(stderr, "sweepd: journal incomplete: %d/%d %s journaled\n", len(done), b.Len(), noun)
+		if !*partial {
+			return 1
+		}
+	}
 	return 0
 }
 

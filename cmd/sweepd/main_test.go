@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/scenario"
+	"repro/internal/work"
 )
 
 const testBatch = `{"scenarios":[
@@ -39,7 +41,7 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var servingRE = regexp.MustCompile(`serving \d+ scenarios on (http://[^\s]+)`)
+var servingRE = regexp.MustCompile(`serving \d+ \w+ on (http://[^\s]+)`)
 
 // startServe launches `sweepd serve` in a goroutine on an ephemeral port
 // and returns the coordinator URL plus a wait func for (exit code, stdout).
@@ -80,11 +82,13 @@ func startServe(t *testing.T, ctx context.Context, args []string, stdin string) 
 	}
 }
 
-// runWork runs one `sweepd work` loop to completion.
-func runWorkCmd(t *testing.T, ctx context.Context, url, id string) int {
+// runWork runs one `sweepd work` loop to completion; extra flags are
+// appended to the standard set.
+func runWorkCmd(t *testing.T, ctx context.Context, url, id string, extra ...string) int {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
-	code := run(ctx, []string{"work", "-coordinator", url, "-id", id, "-workers", "1", "-poll", "10ms"}, strings.NewReader(""), &stdout, &stderr)
+	args := append([]string{"work", "-coordinator", url, "-id", id, "-workers", "1", "-poll", "10ms"}, extra...)
+	code := run(ctx, args, strings.NewReader(""), &stdout, &stderr)
 	if code != 0 {
 		t.Logf("worker %s stderr:\n%s", id, stderr.String())
 	}
@@ -171,6 +175,163 @@ func TestServeCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestServeExperimentsMatchesDriver checks the experiments serve mode at
+// the binary level: serve -experiments plus a -quick worker emit the same
+// NDJSON frames the unified driver produces for the same selection with a
+// quick environment.
+func TestServeExperimentsMatchesDriver(t *testing.T) {
+	wb, err := exp.NewBatch([]string{"tab-fit"}, exp.NewQuickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := work.Run(t.Context(), wb, work.Options{Workers: 1}, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := t.Context()
+	url, wait := startServe(t, ctx, []string{"-experiments", "-ids", "tab-fit", "-quick"}, "")
+	if code := runWorkCmd(t, ctx, url, "w0", "-quick"); code != 0 {
+		t.Fatalf("worker: exit %d", code)
+	}
+	code, stdout := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+	if stdout != want.String() {
+		t.Errorf("experiments serve differs from driver:\n got: %q\nwant: %q", stdout, want.String())
+	}
+}
+
+// TestServeWorkWithToken runs a token-gated sweep end to end: a worker
+// without the secret is rejected, one with it completes the batch.
+func TestServeWorkWithToken(t *testing.T) {
+	ctx := t.Context()
+	url, wait := startServe(t, ctx, []string{"-units", "2", "-token", "s3cret"}, testBatch)
+
+	var stderr bytes.Buffer
+	code := run(ctx, []string{"work", "-coordinator", url, "-id", "intruder", "-poll", "10ms"},
+		strings.NewReader(""), &bytes.Buffer{}, &stderr)
+	if code == 0 || !strings.Contains(stderr.String(), "401") {
+		t.Fatalf("tokenless worker: exit %d, stderr %q; want a 401 failure", code, stderr.String())
+	}
+
+	if code := runWorkCmd(t, ctx, url, "w0", "-token", "s3cret"); code != 0 {
+		t.Fatalf("token worker: exit %d", code)
+	}
+	code, stdout := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+	if strings.Count(stdout, "\n") != 3 {
+		t.Errorf("token-gated sweep emitted %q", stdout)
+	}
+}
+
+// TestJournalSubcommand drives `sweepd journal` over a checkpointed sweep:
+// a complete journal reassembles the full ordered result set; a journal
+// cut back to one entry emits the prefix and exits 1 (0 with -partial);
+// the wrong batch is refused on the hash.
+func TestJournalSubcommand(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "serve.journal")
+	ctx := t.Context()
+
+	url, wait := startServe(t, ctx, []string{"-units", "3", "-checkpoint", jpath}, testBatch)
+	if code := runWorkCmd(t, ctx, url, "w0"); code != 0 {
+		t.Fatalf("worker: exit %d", code)
+	}
+	code, full := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+
+	// Complete journal: the reassembled set equals the serve emission.
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"journal", "-checkpoint", jpath}, strings.NewReader(testBatch), &stdout, &stderr); code != 0 {
+		t.Fatalf("journal: exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != full {
+		t.Errorf("journal reassembly differs from serve output:\n got: %q\nwant: %q", stdout.String(), full)
+	}
+
+	// Wrong input: the hash check refuses to reassemble.
+	stderr.Reset()
+	other := `{"name":"other","l1_kb":64,"l2_kb":1024,"workload":"tpcc","accesses":20000}`
+	if code := run(ctx, []string{"journal", "-checkpoint", jpath}, strings.NewReader(other), &bytes.Buffer{}, &stderr); code != 1 ||
+		!strings.Contains(stderr.String(), "batch hash mismatch") {
+		t.Fatalf("mismatched journal: exit %d, stderr %q", code, stderr.String())
+	}
+
+	// Partial journal: prefix only, non-zero exit unless -partial.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.SplitAfter(string(data), "\n")
+	if err := os.WriteFile(jpath, []byte(jlines[0]+jlines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(ctx, []string{"journal", "-checkpoint", jpath}, strings.NewReader(testBatch), &stdout, &stderr); code != 1 {
+		t.Fatalf("incomplete journal: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "journal incomplete: 1/3 scenarios") {
+		t.Errorf("missing incompleteness diagnostic: %q", stderr.String())
+	}
+	fullLines := strings.SplitAfter(full, "\n")
+	if want := fullLines[0]; stdout.String() != want {
+		t.Errorf("partial reassembly:\n got: %q\nwant: %q", stdout.String(), want)
+	}
+	stdout.Reset()
+	if code := run(ctx, []string{"journal", "-checkpoint", jpath, "-partial"}, strings.NewReader(testBatch), &stdout, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("journal -partial: exit %d, want 0", code)
+	}
+	if stdout.String() != fullLines[0] {
+		t.Errorf("-partial emission: %q", stdout.String())
+	}
+}
+
+// TestJournalExperimentsScale checks `sweepd journal -experiments` can
+// replay an experiments checkpoint written at a non-default environment
+// scale (e.g. by `figures -quick -accesses N -checkpoint`) when the scale
+// flags match, and refuses it as a different batch when they do not.
+func TestJournalExperimentsScale(t *testing.T) {
+	env := exp.NewQuickEnv()
+	env.Accesses = 20000
+	wb, err := exp.NewBatch([]string{"tab-fit"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(t.TempDir(), "exp.journal")
+	jr, done, err := work.OpenJournal(jpath, wb, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := work.Run(t.Context(), wb, work.Options{Workers: 1, Journal: jr, Done: done}, &want); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"journal", "-experiments", "-ids", "tab-fit", "-quick", "-accesses", "20000", "-checkpoint", jpath}
+	if code := run(t.Context(), args, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("matching scale: exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != want.String() {
+		t.Errorf("journal reassembly differs from the driver run:\n got: %q\nwant: %q", stdout.String(), want.String())
+	}
+
+	// Without the scale flags the batch hashes differently: refused.
+	stderr.Reset()
+	bad := []string{"journal", "-experiments", "-ids", "tab-fit", "-checkpoint", jpath}
+	if code := run(t.Context(), bad, strings.NewReader(""), &bytes.Buffer{}, &stderr); code != 1 ||
+		!strings.Contains(stderr.String(), "batch hash mismatch") {
+		t.Fatalf("mismatched scale: exit %d, stderr %q", code, stderr.String())
+	}
+}
+
 // TestFlagAndDispatchErrors pins the CLI error contract.
 func TestFlagAndDispatchErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -186,6 +347,24 @@ func TestFlagAndDispatchErrors(t *testing.T) {
 	}
 	if code := run(t.Context(), []string{"serve", "-resume"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Errorf("serve -resume without -checkpoint: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-ids", "fig1"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -ids without -experiments: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-experiments", "-f", "batch.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -experiments with -f: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-quick"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -quick without -experiments: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"journal", "-checkpoint", "j", "-accesses", "5"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("journal -accesses without -experiments: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"journal"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("journal without -checkpoint: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-experiments", "-ids", "no-such-artifact"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("serve with unknown experiment id: exit %d, want 1", code)
 	}
 	if code := run(t.Context(), []string{"serve", "-f", "/nonexistent.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
 		t.Errorf("missing batch file: exit %d, want 1", code)

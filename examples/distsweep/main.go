@@ -25,8 +25,8 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/dist"
-	"repro/internal/dist/journal"
 	"repro/internal/scenario"
+	"repro/internal/work"
 )
 
 func main() {
@@ -45,13 +45,13 @@ func main() {
 	}
 
 	// The spec tells the coordinator how to shard the batch; its hash pins
-	// the checkpoint journal to exactly this input.
-	spec, err := dist.ScenarioSpec(b)
+	// the checkpoint journal to exactly this input. SpecOf works for any
+	// work.Batch — experiments distribute through the same two lines.
+	spec, err := dist.SpecOf(b)
 	if err != nil {
 		log.Fatal(err)
 	}
-	jr, done, err := journal.Open("distsweep.journal",
-		journal.Header{Kind: dist.KindScenarioBatch, BatchSHA256: spec.Hash, N: spec.N}, true)
+	jr, done, err := work.OpenJournal("distsweep.journal", b, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func main() {
 		w := &dist.Worker{
 			Coordinator: srv.URL,
 			ID:          id,
-			Exec:        dist.ScenarioExecutor(0),
+			Exec:        dist.RegistryExecutor(0),
 			OnUnit: func(u dist.Unit) {
 				fmt.Fprintf(os.Stderr, "%s finished unit %d (scenarios %d-%d)\n", id, u.ID, u.Range.Lo, u.Range.Hi-1)
 			},

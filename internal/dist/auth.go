@@ -1,0 +1,34 @@
+package dist
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// RequireToken wraps the coordinator's handler with shared-secret
+// authentication: every request must carry `Authorization: Bearer
+// <token>`, and anything else — a missing header, a malformed one, a wrong
+// secret — is answered 401 without touching the coordinator. The
+// comparison is constant-time, so response timing leaks nothing about the
+// secret. An empty token returns h unchanged (auth off), matching the
+// `-token` flag default.
+//
+// This is transport-level gatekeeping for coordinators that must listen
+// beyond a single trusted host; it does not encrypt the wire — terminate
+// TLS in front of the coordinator before crossing untrusted networks.
+func RequireToken(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="sweepd"`)
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

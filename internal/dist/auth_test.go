@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequireTokenGate pins the middleware contract: no header, a
+// malformed header, and a wrong secret are all 401 without reaching the
+// coordinator; the right secret passes through.
+func TestRequireTokenGate(t *testing.T) {
+	ctx := t.Context()
+	c, err := New(ctx, toySpec(2), Config{Units: 1, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range c.Results() {
+		}
+	}()
+	srv := httptest.NewServer(RequireToken("s3cret", c.Handler()))
+	t.Cleanup(srv.Close)
+
+	post := func(auth string) int {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/lease", strings.NewReader(`{"worker":"w"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, bad := range []string{"", "Bearer wrong", "Basic s3cret", "s3cret"} {
+		if code := post(bad); code != http.StatusUnauthorized {
+			t.Errorf("auth %q: status %d, want 401", bad, code)
+		}
+	}
+	if code := post("Bearer s3cret"); code != http.StatusOK {
+		t.Errorf("valid token: status %d, want 200", code)
+	}
+}
+
+// TestRequireTokenEmptyDisables checks an empty token leaves the handler
+// untouched (auth off), matching the -token flag default.
+func TestRequireTokenEmptyDisables(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusTeapot) })
+	rec := httptest.NewRecorder()
+	RequireToken("", h).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("empty token must disable auth, got status %d", rec.Code)
+	}
+}
+
+// TestWorkerSendsToken runs a full distributed toy batch through a
+// token-gated coordinator: workers carrying the secret complete it,
+// workers without it fail their first lease with a 401.
+func TestWorkerSendsToken(t *testing.T) {
+	ctx := t.Context()
+	c, err := New(ctx, toySpec(6), Config{Units: 3, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(RequireToken("s3cret", c.Handler()))
+	t.Cleanup(srv.Close)
+
+	intruder := &Worker{
+		Coordinator: srv.URL, ID: "intruder", Exec: toyExec(-1),
+		Client: srv.Client(), Poll: 5 * time.Millisecond,
+	}
+	if err := intruder.Run(ctx); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("tokenless worker must fail with 401, got %v", err)
+	}
+
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+	w := &Worker{
+		Coordinator: srv.URL, ID: "w0", Exec: toyExec(-1),
+		Client: srv.Client(), Poll: 5 * time.Millisecond, Token: "s3cret",
+	}
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), toyWant(6); got != want {
+		t.Errorf("token-gated run:\n got: %q\nwant: %q", got, want)
+	}
+}

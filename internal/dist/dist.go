@@ -29,6 +29,13 @@
 // (internal/dist/journal); restarting it with the replayed lines skips
 // finished items entirely, and units whose whole range was already
 // journaled are never leased again.
+//
+// Payload kinds are not this package's business: SpecOf turns any
+// work.Batch into a coordinator spec, and RegistryExecutor resolves units
+// back into runnable batches through the work registry — adding a workload
+// kind requires no change here. RequireToken optionally gates the protocol
+// behind a shared secret for coordinators listening beyond one trusted
+// host.
 package dist
 
 import (
@@ -46,8 +53,9 @@ type Unit struct {
 	ID int `json:"id"`
 	// Range is the half-open input-index interval this unit covers.
 	Range sweep.Range `json:"range"`
-	// Kind names the payload family (e.g. KindScenarioBatch) so an
-	// executor can refuse units it does not understand.
+	// Kind names the payload family (a work-registry kind, e.g.
+	// "scenario-batch") so an executor can refuse units it does not
+	// understand.
 	Kind string `json:"kind"`
 	// Payload is the kind-specific work description.
 	Payload json.RawMessage `json:"payload"`

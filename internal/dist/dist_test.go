@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/dist/journal"
+	"repro/internal/exp"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
@@ -146,7 +147,7 @@ func TestScenarioDistributedMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	spec, err := ScenarioSpec(b)
+	spec, err := SpecOf(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestScenarioDistributedMatchesSequential(t *testing.T) {
 	c, srv := startCoordinator(t, ctx, spec, Config{Units: 3, LeaseTTL: time.Minute})
 	done := make(chan *bytes.Buffer, 1)
 	go func() { done <- drain(c) }()
-	if err := runWorkers(ctx, srv, 2, ScenarioExecutor(1)); err != nil {
+	if err := runWorkers(ctx, srv, 2, RegistryExecutor(1)); err != nil {
 		t.Fatal(err)
 	}
 	got := <-done
@@ -404,22 +405,28 @@ func leaseRaw(t *testing.T, srv *httptest.Server, worker string) LeaseResponse {
 // real evaluation: unknown IDs fail on the coordinator, payloads carry the
 // right registry slice.
 func TestExperimentsSpec(t *testing.T) {
-	if _, err := ExperimentsSpec([]string{"fig1", "no-such-artifact"}); err == nil ||
+	if _, err := exp.NewBatch([]string{"fig1", "no-such-artifact"}, nil); err == nil ||
 		!strings.Contains(err.Error(), "no-such-artifact") {
-		t.Fatalf("unknown id must fail spec construction, got %v", err)
+		t.Fatalf("unknown id must fail batch construction, got %v", err)
 	}
-	spec, err := ExperimentsSpec([]string{"fig1", "fig2", "tab-l1"})
+	b, err := exp.NewBatch([]string{"fig1", "fig2", "tab-l1"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.N != 3 || spec.Kind != KindExperiments {
+	spec, err := SpecOf(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 3 || spec.Kind != exp.WorkKind {
 		t.Fatalf("spec = %+v", spec)
 	}
 	payload, err := spec.Payload(sweep.Range{Lo: 1, Hi: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var p expPayload
+	var p struct {
+		IDs []string `json:"ids"`
+	}
 	if err := json.Unmarshal(payload, &p); err != nil {
 		t.Fatal(err)
 	}
@@ -428,10 +435,28 @@ func TestExperimentsSpec(t *testing.T) {
 	}
 }
 
-// TestScenarioExecutorRejectsForeignUnit pins the kind check.
-func TestScenarioExecutorRejectsForeignUnit(t *testing.T) {
-	_, err := ScenarioExecutor(1)(t.Context(), Unit{Kind: "toy"})
-	if err == nil || !strings.Contains(err.Error(), `"toy"`) {
-		t.Fatalf("foreign unit must be refused, got %v", err)
+// TestRegistryExecutorRejectsUnknownKind pins the registry check: a unit
+// of an unregistered kind is refused with the registered kind list.
+func TestRegistryExecutorRejectsUnknownKind(t *testing.T) {
+	_, err := RegistryExecutor(1)(t.Context(), Unit{Kind: "toy", Payload: []byte(`{}`)})
+	if err == nil || !strings.Contains(err.Error(), `"toy"`) ||
+		!strings.Contains(err.Error(), scenario.JournalKind) {
+		t.Fatalf("unknown kind must be refused with the registered list, got %v", err)
+	}
+}
+
+// TestRegistryExecutorRangeMismatch pins the payload/range sanity check: a
+// unit whose payload carries a different item count than its range is
+// refused before any work runs.
+func TestRegistryExecutorRangeMismatch(t *testing.T) {
+	b := testBatch(t, 2)
+	payload, err := b.MarshalRange(sweep.Range{Lo: 0, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Unit{Kind: scenario.JournalKind, Payload: payload, Range: sweep.Range{Lo: 0, Hi: 3}}
+	if _, err := RegistryExecutor(1)(t.Context(), u); err == nil ||
+		!strings.Contains(err.Error(), "range wants 3") {
+		t.Fatalf("range mismatch must be refused, got %v", err)
 	}
 }

@@ -128,6 +128,23 @@ func Resume(path string, want Header) (*Journal, map[int]json.RawMessage, error)
 	return &Journal{f: f}, done, nil
 }
 
+// Replay reads a journal without modifying it: it verifies the header
+// against want and returns the completed lines keyed by input index — the
+// read side of the format, for reassembling a result set from a finished
+// (or partial) checkpoint. Unlike Resume it opens the file read-only and
+// leaves a torn final line in place (still discarding it from the result),
+// so it is safe to run against a journal another process is appending to.
+func Replay(path string, want Header) (map[int]json.RawMessage, error) {
+	want.V = Version
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	done, _, err := replay(f, want)
+	return done, err
+}
+
 // Open is the front door for checkpointed runs: with resume false it always
 // starts fresh (Create); with resume true it resumes an existing journal,
 // or starts fresh when none exists yet — so one command line serves both

@@ -102,6 +102,49 @@ func TestTruncatedFinalLine(t *testing.T) {
 	}
 }
 
+// TestReplayReadOnly checks the read side: Replay verifies the header and
+// returns the completed lines, tolerates a torn final line, and — unlike
+// Resume — leaves the file byte-for-byte untouched, so it is safe against
+// a journal another process is still appending to.
+func TestReplayReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(3)
+	write(t, path, h, map[int]string{0: `{"name":"a"}`, 1: `{"name":"b"}`})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"i":2,"line":{"na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := Replay(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || string(done[0]) != `{"name":"a"}` || string(done[1]) != `{"name":"b"}` {
+		t.Fatalf("replayed %v", done)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("Replay modified the journal file")
+	}
+
+	// The same header checks as Resume apply.
+	if _, err := Replay(path, Header{Kind: "test-batch", BatchSHA256: "different", N: 3}); err == nil ||
+		!strings.Contains(err.Error(), "batch hash mismatch") {
+		t.Fatalf("hash mismatch must be refused, got %v", err)
+	}
+}
+
 // TestCorruptMiddleLine checks that a torn line anywhere but the tail is an
 // error — skipping it would silently drop a completed result.
 func TestCorruptMiddleLine(t *testing.T) {

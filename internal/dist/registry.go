@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/work"
+)
+
+// SpecOf describes any work.Batch to the coordinator: the unit payloads
+// are the batch's own range marshalling, the hash its canonical content
+// hash — so a checkpoint taken by a distributed run and one taken by a
+// single-process `work.Run -checkpoint` of the same batch are
+// interchangeable. This is the whole coordinator side of a payload kind;
+// there is no per-kind executor code in this package — the worker side
+// resolves units through the work registry (RegistryExecutor).
+func SpecOf(b work.Batch) (Spec, error) {
+	if b.Len() <= 0 {
+		return Spec{}, fmt.Errorf("dist: %s batch has no items", b.Kind())
+	}
+	hash, err := b.Hash()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Kind:    b.Kind(),
+		Hash:    hash,
+		N:       b.Len(),
+		Payload: b.MarshalRange,
+	}, nil
+}
+
+// RegistryExecutor returns the universal worker-side executor: it rebuilds
+// any unit whose kind is registered with the work registry into a runnable
+// batch and executes it, emitting exactly the NDJSON lines the sequential
+// run would emit for the unit's indices. workers bounds in-unit
+// concurrency (0 = GOMAXPROCS). A worker process executes every kind its
+// binary links (cmd/sweepd links scenario and exp, so both register);
+// units of a kind it does not know fail loudly with the registered list.
+func RegistryExecutor(workers int) Executor {
+	return func(ctx context.Context, u Unit) ([][]byte, error) {
+		b, err := work.Unmarshal(u.Kind, u.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("dist: unit %d: %w", u.ID, err)
+		}
+		if got, want := b.Len(), u.Range.Len(); got != want {
+			return nil, fmt.Errorf("dist: unit %d payload carries %d items, range wants %d", u.ID, got, want)
+		}
+		return work.Collect(ctx, b, work.Options{Workers: workers})
+	}
+}

@@ -49,6 +49,10 @@ type Worker struct {
 	Exec Executor
 	// Client is the HTTP client (nil = http.DefaultClient).
 	Client *http.Client
+	// Token, when non-empty, is the coordinator's shared secret: every
+	// request carries it as `Authorization: Bearer <token>`. A
+	// coordinator behind dist.RequireToken answers 401 without it.
+	Token string
 	// Poll is the fallback delay between lease attempts when the
 	// coordinator is busy and did not hint one (0 = 200ms).
 	Poll time.Duration
@@ -204,6 +208,7 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	w.authorize(req)
 	return w.do(req, out)
 }
 
@@ -219,8 +224,16 @@ func (w *Worker) postResult(ctx context.Context, u Unit, lines [][]byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	w.authorize(req)
 	var ok map[string]bool
 	return w.do(req, &ok)
+}
+
+// authorize attaches the shared-secret header when a token is configured.
+func (w *Worker) authorize(req *http.Request) {
+	if w.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.Token)
+	}
 }
 
 // do executes one protocol request.

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/dist/journal"
+	"repro/internal/sweep"
+	"repro/internal/work"
+)
+
+// WorkKind tags experiment work: checkpoint journals written by `figures
+// -checkpoint`, distributed units served by `sweepd serve -experiments`,
+// and the work-registry entry that turns those units back into runnable
+// batches all share it.
+const WorkKind = "experiments"
+
+// workPayload is the wire form of an experiment batch: registry IDs in
+// run order.
+type workPayload struct {
+	IDs []string `json:"ids"`
+}
+
+// Line is the NDJSON frame of one streamed artifact — the object `figures
+// -stream` emits and distributed experiment units carry, so downstream
+// consumers cannot tell a distributed run from a local one.
+type Line struct {
+	ID    string `json:"id"`
+	ASCII string `json:"ascii"`
+	CSV   string `json:"csv"`
+}
+
+// NDJSONLine renders one artifact as its compact stream line.
+func (a Artifact) NDJSONLine() ([]byte, error) {
+	return json.Marshal(Line{ID: a.ID, ASCII: a.Render(), CSV: a.CSV()})
+}
+
+// Batch is a subset of the experiment registry as a work.Batch: each item
+// is one experiment, rendering to its Line. An explicit Env pins the
+// environment (cmd/figures passes its quick/full Env); a nil Env selects
+// the shared process environment, which is what batches decoded from the
+// wire use — substrates (caches, fitted models, miss matrices) are then
+// memoized per process, so a worker fleet rebuilds them once per machine
+// instead of once total, which is exactly the point of distributing the
+// grid.
+type Batch struct {
+	ids  []string
+	exps []Experiment
+	env  *Env
+}
+
+var _ work.Batch = (*Batch)(nil)
+
+func init() {
+	work.Register(WorkKind, func(payload json.RawMessage) (work.Batch, error) {
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		var p workPayload
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("exp: work payload: %w", err)
+		}
+		return NewBatch(p.IDs, nil)
+	})
+}
+
+// NewBatch resolves registry IDs (preserving input order) into an
+// experiment work batch. Unknown IDs fail here — on the coordinator, not
+// on some worker three machines away. env nil selects the shared process
+// environment on first RunItem.
+func NewBatch(ids []string, env *Env) (*Batch, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("exp: batch has no experiment ids")
+	}
+	exps, err := findExperiments(ids)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{ids: ids, exps: exps, env: env}, nil
+}
+
+// IDs returns the batch's registry IDs in run order.
+func (b *Batch) IDs() []string { return b.ids }
+
+// Kind names the experiments payload family.
+func (b *Batch) Kind() string { return WorkKind }
+
+// Len is the number of experiments in the batch.
+func (b *Batch) Len() int { return len(b.ids) }
+
+// hashPayload is what the content hash covers: the artifact selection
+// plus the environment knobs that change result bytes. The scenario kind
+// gets this for free (its configs embed accesses); here it prevents a
+// resume at a different -quick/-accesses scale from silently splicing two
+// simulation scales into one result set.
+type hashPayload struct {
+	IDs      []string `json:"ids"`
+	Accesses int      `json:"accesses"`
+	Seed     int64    `json:"seed"`
+	MinR2    float64  `json:"min_r2"`
+}
+
+// Hash is the canonical content hash pinning checkpoint journals and
+// distributed runs to exactly this artifact set at exactly this
+// environment scale — resuming the same IDs with different simulation
+// parameters is refused as a batch-hash mismatch.
+func (b *Batch) Hash() (string, error) {
+	env := b.env
+	if env == nil {
+		env = processEnv()
+	}
+	return journal.Hash(hashPayload{IDs: b.ids, Accesses: env.Accesses, Seed: env.Seed, MinR2: env.MinR2})
+}
+
+// RunItem executes experiment i against the batch's environment and
+// returns its compact Line.
+func (b *Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
+	env := b.env
+	if env == nil {
+		env = processEnv()
+	}
+	a, err := b.exps[i].Run(ctx, env)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", b.exps[i].ID, err)
+	}
+	return a.NDJSONLine()
+}
+
+// MarshalRange renders the {"ids": [...]} payload for [r.Lo, r.Hi) — the
+// self-contained description of a distributed experiment unit.
+func (b *Batch) MarshalRange(r sweep.Range) (json.RawMessage, error) {
+	return json.Marshal(workPayload{IDs: b.ids[r.Lo:r.Hi]})
+}
+
+// findExperiments resolves registry IDs, preserving input order.
+func findExperiments(ids []string) ([]Experiment, error) {
+	byID := make(map[string]Experiment)
+	for _, e := range Experiments() {
+		byID[e.ID] = e
+	}
+	out := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown experiment id %q", id)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// procEnv is the shared environment of wire-decoded experiment batches:
+// one Env per process, built lazily on first use so decoding stays cheap,
+// shared across units so memoized substrates amortize.
+var procEnv = struct {
+	mu      sync.Mutex
+	factory func() *Env
+	env     *Env
+}{factory: NewEnv}
+
+// SetProcessEnv replaces the factory for the shared process environment
+// used by experiment batches decoded from the wire, dropping any
+// environment already built. Processes executing quick sweeps (`sweepd
+// work -quick`, tests) call it before running units; the default is
+// NewEnv. Every worker of a fleet must use the same environment scale, or
+// distributed output stops being byte-identical to sequential.
+func SetProcessEnv(factory func() *Env) {
+	procEnv.mu.Lock()
+	defer procEnv.mu.Unlock()
+	if factory == nil {
+		factory = NewEnv
+	}
+	procEnv.factory = factory
+	procEnv.env = nil
+}
+
+// processEnv returns the shared process environment, building it on first
+// use.
+func processEnv() *Env {
+	procEnv.mu.Lock()
+	defer procEnv.mu.Unlock()
+	if procEnv.env == nil {
+		procEnv.env = procEnv.factory()
+	}
+	return procEnv.env
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/sweep"
+	"repro/internal/work"
 )
 
 // Batch is the multi-scenario JSON schema: a top-level "scenarios" array of
@@ -165,33 +166,14 @@ func (r Result) NDJSONLine() ([]byte, error) {
 
 // StreamNDJSON streams the batch to w as NDJSON: one result line per
 // scenario, in input order, each written (and flushable by the caller's
-// writer) as soon as the scenario completes. On error the stream ends
-// early; lines already written remain valid JSON, so consumers can resume
-// from partial output. A write error (e.g. a broken pipe) cancels the
-// remaining scenarios instead of computing output nobody reads.
+// writer) as soon as the scenario completes. It is the unified driver
+// (work.Run) applied to the batch: on error the stream ends early, lines
+// already written remain valid JSON, and a write error (e.g. a broken
+// pipe) cancels the remaining scenarios instead of computing output nobody
+// reads.
 func StreamNDJSON(ctx context.Context, b Batch, opts StreamOptions, w io.Writer) error {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	ch, wait := StreamBatch(ctx, b, opts)
-	var writeErr error
-	for res := range ch {
-		if writeErr != nil {
-			continue // the post-cancel drain; nothing more is scheduled
-		}
-		line, err := res.NDJSONLine()
-		if err == nil {
-			_, err = w.Write(append(line, '\n'))
-		}
-		if err != nil {
-			writeErr = fmt.Errorf("scenario: streaming %q: %w", res.Name, err)
-			cancel()
-		}
+	if err := b.Validate(); err != nil {
+		return err
 	}
-	err := wait()
-	if writeErr != nil {
-		// The wait error is the cancellation this function triggered;
-		// the write failure is the root cause.
-		return writeErr
-	}
-	return err
+	return work.Run(ctx, b, work.Options{Workers: opts.Workers, Progress: opts.Progress}, w)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/dist/journal"
+	"repro/internal/work"
 )
 
 // checkpointBatch is a small real batch (short simulations) for
@@ -25,8 +26,9 @@ func checkpointBatch(t *testing.T) Batch {
 	return b
 }
 
-// TestCheckpointedMatchesPlainStream checks a fresh checkpointed run emits
-// exactly the plain stream's bytes and journals every line.
+// TestCheckpointedMatchesPlainStream checks a fresh checkpointed run
+// through the unified driver emits exactly the plain stream's bytes and
+// journals every line.
 func TestCheckpointedMatchesPlainStream(t *testing.T) {
 	b := checkpointBatch(t)
 	var want bytes.Buffer
@@ -35,16 +37,12 @@ func TestCheckpointedMatchesPlainStream(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "batch.journal")
-	h, err := b.JournalHeader()
-	if err != nil {
-		t.Fatal(err)
-	}
-	jr, err := journal.Create(path, h)
+	jr, done, err := work.OpenJournal(path, b, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got bytes.Buffer
-	if err := StreamNDJSONCheckpointed(t.Context(), b, StreamOptions{Workers: 2}, &got, jr, nil); err != nil {
+	if err := work.Run(t.Context(), b, work.Options{Workers: 2, Journal: jr, Done: done}, &got); err != nil {
 		t.Fatal(err)
 	}
 	jr.Close()
@@ -53,12 +51,12 @@ func TestCheckpointedMatchesPlainStream(t *testing.T) {
 	}
 
 	// The journal holds every line.
-	_, done, err := journal.Resume(path, h)
+	replayed, err := work.ReplayJournal(path, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(done) != len(b.Scenarios) {
-		t.Errorf("journal has %d entries, want %d", len(done), len(b.Scenarios))
+	if len(replayed) != len(b.Scenarios) {
+		t.Errorf("journal has %d entries, want %d", len(replayed), len(b.Scenarios))
 	}
 }
 
@@ -75,7 +73,7 @@ func TestResumeEmitsOnlyRemainder(t *testing.T) {
 	lines := strings.SplitAfter(full.String(), "\n")
 
 	path := filepath.Join(t.TempDir(), "batch.journal")
-	h, err := b.JournalHeader()
+	h, err := work.Header(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +95,7 @@ func TestResumeEmitsOnlyRemainder(t *testing.T) {
 	}
 	f.Close()
 
-	jr, done, err := journal.Resume(path, h)
+	jr, done, err := work.OpenJournal(path, b, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +103,7 @@ func TestResumeEmitsOnlyRemainder(t *testing.T) {
 		t.Fatalf("replayed %d entries, want 1", len(done))
 	}
 	var resumed bytes.Buffer
-	if err := StreamNDJSONCheckpointed(t.Context(), b, StreamOptions{Workers: 1}, &resumed, jr, done); err != nil {
+	if err := work.Run(t.Context(), b, work.Options{Workers: 1, Journal: jr, Done: done}, &resumed); err != nil {
 		t.Fatal(err)
 	}
 	jr.Close()
@@ -119,13 +117,13 @@ func TestResumeEmitsOnlyRemainder(t *testing.T) {
 	}
 
 	// A second resume finds everything done and emits nothing.
-	jr, done, err = journal.Resume(path, h)
+	jr, done, err = work.OpenJournal(path, b, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer jr.Close()
 	var again bytes.Buffer
-	if err := StreamNDJSONCheckpointed(t.Context(), b, StreamOptions{}, &again, jr, done); err != nil {
+	if err := work.Run(t.Context(), b, work.Options{Journal: jr, Done: done}, &again); err != nil {
 		t.Fatal(err)
 	}
 	if again.Len() != 0 {

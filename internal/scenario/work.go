@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dist/journal"
+	"repro/internal/sweep"
+	"repro/internal/work"
+)
+
+// JournalKind tags scenario-batch work: checkpoint journals, distributed
+// work units, and the work registry all share it, so a checkpoint written
+// by `scenario -checkpoint` resumes under `sweepd serve` and vice versa.
+const JournalKind = "scenario-batch"
+
+// Batch is a work.Batch: a batch already defaulted by LoadBatch runs
+// through the unified driver (work.Run / work.Collect), gains
+// checkpoint/resume from the journal helpers, and distributes through
+// dist.RegistryExecutor — all emitting the same NDJSON lines in the same
+// order.
+var _ work.Batch = Batch{}
+
+func init() {
+	work.Register(JournalKind, func(payload json.RawMessage) (work.Batch, error) {
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		var b Batch
+		if err := dec.Decode(&b); err != nil {
+			return nil, fmt.Errorf("scenario: work payload: %w", err)
+		}
+		// Defaults were applied before MarshalRange rendered the payload;
+		// only structural validity needs re-checking here.
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	})
+}
+
+// Kind names the scenario-batch payload family.
+func (b Batch) Kind() string { return JournalKind }
+
+// Len is the number of scenarios in the batch.
+func (b Batch) Len() int { return len(b.Scenarios) }
+
+// Hash is the canonical content hash of the batch: the hex SHA-256 of its
+// JSON form after defaulting. It pins checkpoint journals and distributed
+// runs to their input — resuming against a batch that hashes differently
+// is refused.
+func (b Batch) Hash() (string, error) {
+	return journal.Hash(b)
+}
+
+// RunItem executes scenario i and returns its compact NDJSON line — the
+// unit of the batch streaming format.
+func (b Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
+	res, err := RunCtx(ctx, b.Scenarios[i])
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", b.Scenarios[i].Name, err)
+	}
+	return res.NDJSONLine()
+}
+
+// MarshalRange renders the ordinary batch schema ({"scenarios": [...]})
+// restricted to [r.Lo, r.Hi) — the self-contained payload of a distributed
+// work unit. Defaults are already applied, so every worker executes
+// identical configs.
+func (b Batch) MarshalRange(r sweep.Range) (json.RawMessage, error) {
+	return json.Marshal(Batch{Scenarios: b.Scenarios[r.Lo:r.Hi]})
+}

@@ -1,0 +1,222 @@
+package work_test
+
+// The cross-kind equivalence suite: every payload kind registered with
+// the work registry must produce byte-identical output across the four
+// execution shapes the unified driver promises — sequential, parallel
+// streamed, checkpointed-then-resumed, and in-process distributed. This is
+// the contract a new workload kind signs by calling work.Register: add a
+// fixture here and the whole matrix is enforced for it.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/scenario"
+	"repro/internal/work"
+)
+
+// tinyExpEnv is an experiment environment cheap enough to evaluate
+// repeatedly; determinism does not depend on trace length.
+func tinyExpEnv() *exp.Env {
+	e := exp.NewQuickEnv()
+	e.Accesses = 30_000
+	return e
+}
+
+// fixtures returns one representative batch per registered kind. The
+// suite fails when a registered kind has no fixture, so adding a kind
+// without wiring it into the equivalence matrix is impossible.
+func fixtures(t *testing.T) map[string]work.Batch {
+	t.Helper()
+	b, err := scenario.LoadBatch(strings.NewReader(`{"scenarios":[
+		{"name":"a","l1_kb":16,"l2_kb":256,"workload":"tpcc","accesses":20000},
+		{"name":"b","l1_kb":16,"l2_kb":512,"workload":"tpcc","accesses":20000},
+		{"name":"c","l1_kb":32,"l2_kb":256,"workload":"tpcc","accesses":20000},
+		{"name":"d","l1_kb":32,"l2_kb":512,"workload":"tpcc","accesses":20000}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := exp.NewBatch([]string{"tab-fit", "tab-missrates"}, tinyExpEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]work.Batch{
+		scenario.JournalKind: b,
+		exp.WorkKind:         eb,
+	}
+}
+
+// TestAllKindsEquivalentAcrossExecutionShapes is the acceptance suite for
+// the unified workload API.
+func TestAllKindsEquivalentAcrossExecutionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered kind through four execution shapes")
+	}
+	// Wire-decoded experiment batches execute against the shared process
+	// environment; pin it to the fixture's scale so the distributed leg
+	// computes the same numbers.
+	exp.SetProcessEnv(tinyExpEnv)
+	defer exp.SetProcessEnv(nil)
+
+	fx := fixtures(t)
+	for _, kind := range work.Kinds() {
+		if kind == "toy" {
+			continue // the driver's own synthetic test kind (work_test.go)
+		}
+		b, ok := fx[kind]
+		if !ok {
+			t.Fatalf("registered kind %q has no equivalence fixture; add one to fixtures()", kind)
+		}
+		t.Run(kind, func(t *testing.T) {
+			var seq bytes.Buffer
+			if err := work.Run(t.Context(), b, work.Options{Workers: 1}, &seq); err != nil {
+				t.Fatal(err)
+			}
+			if n := strings.Count(seq.String(), "\n"); n != b.Len() {
+				t.Fatalf("sequential run emitted %d lines for %d items", n, b.Len())
+			}
+			t.Run("parallel-streamed", func(t *testing.T) {
+				var par bytes.Buffer
+				if err := work.Run(t.Context(), b, work.Options{Workers: 4}, &par); err != nil {
+					t.Fatal(err)
+				}
+				diffBytes(t, par.Bytes(), seq.Bytes())
+			})
+			t.Run("collected", func(t *testing.T) {
+				lines, err := work.Collect(t.Context(), b, work.Options{Workers: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				for _, l := range lines {
+					buf.Write(l)
+					buf.WriteByte('\n')
+				}
+				diffBytes(t, buf.Bytes(), seq.Bytes())
+			})
+			t.Run("checkpointed-resumed", func(t *testing.T) {
+				diffBytes(t, checkpointResumed(t, b), seq.Bytes())
+			})
+			t.Run("distributed", func(t *testing.T) {
+				diffBytes(t, distributed(t, b), seq.Bytes())
+			})
+		})
+	}
+}
+
+// diffBytes fails with a readable diff when got differs from want.
+func diffBytes(t *testing.T, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from sequential run:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// checkpointResumed runs the batch checkpointed, simulates a kill by
+// cutting the journal back to its header plus first entry (with a torn
+// second entry, as a crash mid-append leaves), resumes, and returns
+// journal prefix + resumed emission.
+func checkpointResumed(t *testing.T, b work.Batch) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "equiv.journal")
+	jr, done, err := work.OpenJournal(path, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := work.Run(t.Context(), b, work.Options{Workers: 2, Journal: jr, Done: done}, &full); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.SplitAfter(string(data), "\n")
+	torn := jlines[0] + jlines[1] + `{"i":1,"line":{"tr`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jr, done, err = work.OpenJournal(path, b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	if len(done) != 1 {
+		t.Fatalf("replayed %d entries, want 1", len(done))
+	}
+	var resumed bytes.Buffer
+	if err := work.Run(t.Context(), b, work.Options{Workers: 2, Journal: jr, Done: done}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	prefix := append([]byte{}, done[0]...)
+	prefix = append(prefix, '\n')
+	return append(prefix, resumed.Bytes()...)
+}
+
+// distributed runs the batch through an in-process coordinator with two
+// registry-executor workers and returns the reassembled emission.
+func distributed(t *testing.T, b work.Batch) []byte {
+	t.Helper()
+	spec, err := dist.SpecOf(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	c, err := dist.New(ctx, spec, dist.Config{Units: 3, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		for line := range c.Results() {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		out <- buf.Bytes()
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		w := &dist.Worker{
+			Coordinator: srv.URL,
+			ID:          fmt.Sprintf("equiv-w%d", i),
+			Exec:        dist.RegistryExecutor(1),
+			Client:      srv.Client(),
+			Poll:        5 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	got := <-out
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}

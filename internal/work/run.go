@@ -1,0 +1,163 @@
+package work
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/dist/journal"
+	"repro/internal/sweep"
+)
+
+// Options tunes one driver run. The zero value streams with GOMAXPROCS
+// workers, no progress hook, and no checkpointing.
+type Options struct {
+	// Workers bounds concurrent RunItem calls (0 = GOMAXPROCS, 1 =
+	// sequential execution — the output bytes are identical either way).
+	Workers int
+	// Progress, when non-nil, observes completion: Run calls it once per
+	// emitted line (serialized on the emitter) with (done, total), where
+	// total counts only the items this run executes — indices replayed
+	// from a checkpoint are excluded from both numbers. Collect calls it
+	// once per completed item, possibly from concurrent workers.
+	Progress sweep.Progress
+	// Journal, when non-nil, records every completed line before it is
+	// written to the sink, so a killed run can resume (Run only; Collect
+	// does not checkpoint).
+	Journal *journal.Journal
+	// Done carries the lines a previous run already completed, keyed by
+	// input index (journal replay via OpenJournal). Covered indices are
+	// neither re-executed nor re-emitted: a resumed run's output is
+	// exactly the remainder, in input order.
+	Done map[int]json.RawMessage
+}
+
+// Run is the unified streaming driver: it executes every pending item of
+// the batch across a bounded worker pool and writes one compact NDJSON
+// line per item to w, in input order, each line written as soon as the
+// ordered prefix through it is complete. Backpressure is bounded — a slow
+// sink throttles the workers instead of results accumulating in memory.
+//
+// With o.Journal set, every line is journaled before it is written to w
+// (journal-before-emit: the journal, not the consumer's copy of the
+// stream, is the authoritative record — a crash between the two leaves the
+// line recoverable rather than emitted-but-unjournaled). Indices in o.Done
+// are skipped entirely; when everything is already journaled, Run returns
+// immediately having emitted nothing.
+//
+// On success the concatenation of the skipped journal lines and the bytes
+// written to w is byte-identical to a sequential, uncheckpointed run at
+// any worker count. A failing item aborts the run with its error; a write
+// or journal failure cancels the remaining items instead of computing
+// output nobody records.
+func Run(ctx context.Context, b Batch, o Options, w io.Writer) error {
+	n := b.Len()
+	if n <= 0 {
+		return fmt.Errorf("work: %s batch has no items", b.Kind())
+	}
+	pending := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if _, ok := o.Done[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, wait := sweep.Stream(ctx, len(pending), sweep.StreamConfig{
+		Workers:  o.Workers,
+		Progress: o.Progress,
+	}, func(ctx context.Context, k int) (json.RawMessage, error) {
+		return b.RunItem(ctx, pending[k])
+	})
+	emitted := 0
+	var sinkErr error
+	for line := range ch {
+		if sinkErr != nil {
+			continue // the post-cancel drain; nothing more is scheduled
+		}
+		idx := pending[emitted]
+		var err error
+		if o.Journal != nil {
+			err = o.Journal.Record(idx, line)
+		}
+		if err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+		if err != nil {
+			sinkErr = fmt.Errorf("work: emitting item %d: %w", idx, err)
+			cancel()
+		}
+		emitted++
+	}
+	err := wait()
+	if sinkErr != nil {
+		// The wait error is the cancellation this function triggered; the
+		// journal/write failure is the root cause.
+		return sinkErr
+	}
+	return err
+}
+
+// Collect is the buffered driver: it executes every item across a bounded
+// worker pool and returns the lines in input order — for callers that need
+// the whole result set at once (buffered CLI documents, distributed unit
+// executors). The lines are exactly what Run would stream, without the
+// trailing newlines. Collect does not checkpoint; o.Journal and o.Done are
+// ignored.
+func Collect(ctx context.Context, b Batch, o Options) ([][]byte, error) {
+	n := b.Len()
+	if n <= 0 {
+		return nil, fmt.Errorf("work: %s batch has no items", b.Kind())
+	}
+	var done atomic.Int64
+	return sweep.MapCtx(ctx, n, o.Workers, func(ctx context.Context, i int) ([]byte, error) {
+		line, err := b.RunItem(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		if o.Progress != nil {
+			o.Progress(int(done.Add(1)), n)
+		}
+		return line, nil
+	})
+}
+
+// Header renders the checkpoint-journal header pinning this batch: its
+// kind, canonical content hash, and item count.
+func Header(b Batch) (journal.Header, error) {
+	hash, err := b.Hash()
+	if err != nil {
+		return journal.Header{}, err
+	}
+	return journal.Header{Kind: b.Kind(), BatchSHA256: hash, N: b.Len()}, nil
+}
+
+// OpenJournal opens the checkpoint journal for a batch: a fresh journal
+// when resume is false, otherwise an existing one replayed (its lines
+// return as the map for Options.Done) after verifying it belongs to
+// exactly this batch — kind, content hash, and item count all match, or
+// the resume is refused.
+func OpenJournal(path string, b Batch, resume bool) (*journal.Journal, map[int]json.RawMessage, error) {
+	h, err := Header(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return journal.Open(path, h, resume)
+}
+
+// ReplayJournal reads a batch's checkpoint journal without modifying it
+// and returns the completed lines keyed by input index — the read side
+// `sweepd journal` uses to reassemble a result set from the authoritative
+// record. The header is verified exactly as on resume.
+func ReplayJournal(path string, b Batch) (map[int]json.RawMessage, error) {
+	h, err := Header(b)
+	if err != nil {
+		return nil, err
+	}
+	return journal.Replay(path, h)
+}
