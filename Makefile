@@ -4,18 +4,31 @@ GO ?= go
 # top of the file.
 .DEFAULT_GOAL := ci
 
-.PHONY: help ci vet staticcheck build test race bench bench-compile golden
+.PHONY: help ci fmt tidy vet staticcheck build test race bench bench-compile cover golden
 
 # help is self-maintaining: annotate a target with a trailing `## text`
 # and it appears here.
 help: ## list the Makefile verbs and what they do
 	@grep -E '^[a-zA-Z_-]+:.*?## ' $(MAKEFILE_LIST) | awk 'BEGIN {FS = ":.*?## "}; {printf "  %-14s %s\n", $$1, $$2}'
 
-# ci is the gate: vet, staticcheck, build, race-enabled tests, and a
-# one-iteration pass over every benchmark as a compile-and-run check — the
-# same chain .github/workflows/ci.yml runs, so a green `make ci` means a
-# green CI run.
-ci: vet staticcheck build race bench-compile ## the full CI gate (vet + staticcheck + build + race tests + bench compile)
+# ci is the gate: formatting, module tidiness, vet, staticcheck, build,
+# race-enabled tests, and a one-iteration pass over every benchmark as a
+# compile-and-run check — the same chain .github/workflows/ci.yml runs,
+# so a green `make ci` means a green CI run. (CI's benchmark-regression
+# gate needs a merge-base to diff against and only runs on pull
+# requests; see .github/workflows/ci.yml.)
+ci: fmt tidy vet staticcheck build race bench-compile ## the full CI gate (fmt + tidy + vet + staticcheck + build + race tests + bench compile)
+
+# fmt fails listing the files gofmt would rewrite, same as the CI step.
+fmt: ## fail when gofmt would change any file
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# tidy checks go.mod/go.sum are exactly what `go mod tidy` would write
+# (-diff needs Go 1.23+; it prints the diff and exits non-zero on drift).
+tidy: ## fail when go.mod/go.sum are not tidy
+	$(GO) mod tidy -diff
 
 # staticcheck runs the linter when it is installed (CI installs it; local
 # boxes may not have it). Findings fail the target; only a missing binary
@@ -48,7 +61,14 @@ bench-compile: ## run every benchmark once as a compile-and-run check
 bench: ## run the real benchmark measurements
 	$(GO) test -bench=. -benchmem .
 
-# golden regenerates checked-in golden files (scenario batch output and the
-# NDJSON stream pinned against it).
+# cover mirrors the CI coverage job: per-package percentages on stdout,
+# the profile in cover.out, the total at the end.
+cover: ## run the suite with a coverage profile and print the total
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+
+# golden regenerates checked-in golden files (scenario batch output, the
+# NDJSON stream pinned against it, and the grid expansion).
 golden: ## regenerate the checked-in golden files
 	$(GO) test ./internal/scenario -run 'TestBatchGolden|TestStreamGolden' -update
+	$(GO) test ./internal/grid -run TestExpandGolden -update

@@ -1,0 +1,137 @@
+// Command benchgate turns a benchstat comparison into a CI verdict: it
+// reads the table benchstat prints for `benchstat base.txt head.txt`,
+// finds the time (sec/op) rows whose change is statistically significant
+// (benchstat marks insignificant rows "~"), and exits non-zero when any
+// significant regression exceeds -threshold percent. Improvements and
+// statistically insignificant noise — which `-benchtime=3x` runs produce
+// plenty of — never fail the gate.
+//
+// Usage:
+//
+//	benchstat base.txt head.txt | benchgate -threshold 20
+//	benchgate -threshold 20 delta.txt
+//
+// The gate reads geomean rows as context only: per-benchmark rows decide,
+// so one real regression cannot hide behind unrelated improvements.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// regression is one significant sec/op increase.
+type regression struct {
+	pkg   string
+	name  string
+	delta float64
+}
+
+// run is the testable entry point.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 20, "maximum tolerated significant sec/op regression, percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	r := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	default:
+		fmt.Fprintln(stderr, "benchgate: at most one input file")
+		return 2
+	}
+
+	compared, regressions, err := gate(r, *threshold)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+	if compared == 0 {
+		// A first run against a base with no benchmarks compares nothing;
+		// that is a note, not a failure.
+		fmt.Fprintln(stdout, "benchgate: no sec/op comparison rows found; nothing to gate")
+		return 0
+	}
+	if len(regressions) == 0 {
+		fmt.Fprintf(stdout, "benchgate: %d sec/op rows compared, no significant regression above %g%%\n", compared, *threshold)
+		return 0
+	}
+	fmt.Fprintf(stdout, "benchgate: %d significant sec/op regression(s) above %g%%:\n", len(regressions), *threshold)
+	for _, x := range regressions {
+		fmt.Fprintf(stdout, "  %s  %s  +%.2f%%\n", x.pkg, x.name, x.delta)
+	}
+	return 1
+}
+
+// deltaRE extracts benchstat's significant-change cell: a signed
+// percentage followed by the p-value. Insignificant rows print "~"
+// instead and never match.
+var deltaRE = regexp.MustCompile(`([+-]\d+(?:\.\d+)?)%\s+\(p=`)
+
+// gate scans a benchstat table, returning how many significant sec/op
+// rows it saw and which of them regressed beyond threshold percent.
+func gate(r io.Reader, threshold float64) (compared int, regressions []regression, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	inSecOp := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.Contains(line, "vs base"):
+			// A metric header: gate only the time table; B/op, allocs/op
+			// and throughput tables pass through.
+			inSecOp = strings.Contains(line, "sec/op")
+			continue
+		}
+		if !inSecOp {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] == "geomean" || strings.HasPrefix(fields[0], "│") {
+			continue
+		}
+		if !strings.Contains(line, "(p=") {
+			continue // not a comparison row (missing base, decoration)
+		}
+		compared++
+		m := deltaRE.FindStringSubmatch(line)
+		if m == nil {
+			continue // statistically insignificant ("~")
+		}
+		delta, perr := strconv.ParseFloat(m[1], 64)
+		if perr != nil {
+			return 0, nil, fmt.Errorf("parsing delta in %q: %w", line, perr)
+		}
+		if delta > threshold {
+			regressions = append(regressions, regression{pkg: pkg, name: fields[0], delta: delta})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	return compared, regressions, nil
+}

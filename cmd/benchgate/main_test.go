@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture mimics benchstat's two-file comparison table: one pkg section
+// with a significant regression, a significant improvement, and an
+// insignificant row; a second section whose regression sits in a B/op
+// table (not gated); and a head-only row with no base to compare.
+const fixture = `goos: linux
+goarch: amd64
+pkg: repro/internal/sweep
+cpu: Intel(R) Xeon(R)
+               │  base.txt   │             head.txt              │
+               │   sec/op    │   sec/op     vs base              │
+MapOverhead-8    12.34µ ± 2%   16.00µ ± 3%  +29.66% (p=0.002 n=6)
+StreamOrder-8    10.00µ ± 1%    8.00µ ± 2%  -20.00% (p=0.002 n=6)
+MemoHit-8         5.00µ ± 9%    5.10µ ± 8%        ~ (p=0.394 n=6)
+geomean           8.54µ         8.91µ        +4.33%
+
+pkg: repro/internal/work
+               │  base.txt   │             head.txt              │
+               │    B/op     │    B/op      vs base              │
+RunParallel-8    1.000Ki ± 0%   2.000Ki ± 0%  +100.00% (p=0.002 n=6)
+               │  base.txt   │             head.txt              │
+               │   sec/op    │   sec/op     vs base              │
+Collect-8        20.00µ ± 2%   21.00µ ± 2%   +5.00% (p=0.015 n=6)
+RunSequential-8               100.0µ ± 1%
+`
+
+func TestGateFindsOnlySignificantSecOpRegressions(t *testing.T) {
+	compared, regs, err := gate(strings.NewReader(fixture), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MapOverhead (+29.66%), StreamOrder (-20%), MemoHit (~), Collect
+	// (+5%) are the sec/op comparison rows; the B/op table and the
+	// baseless RunSequential row are not.
+	if compared != 4 {
+		t.Errorf("compared %d rows, want 4", compared)
+	}
+	if len(regs) != 1 || regs[0].name != "MapOverhead-8" || regs[0].pkg != "repro/internal/sweep" {
+		t.Fatalf("regressions = %+v, want exactly sweep's MapOverhead", regs)
+	}
+	if regs[0].delta != 29.66 {
+		t.Errorf("delta = %v, want 29.66", regs[0].delta)
+	}
+}
+
+func TestGateThresholdBoundary(t *testing.T) {
+	// +29.66% passes a 30% threshold: the gate is strictly greater-than.
+	_, regs, err := gate(strings.NewReader(fixture), 29.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("regressions at exact threshold = %+v, want none", regs)
+	}
+	_, regs, err = gate(strings.NewReader(fixture), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Errorf("regressions at 4%% = %+v, want MapOverhead and Collect", regs)
+	}
+}
+
+func TestRunVerdicts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.txt")
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-threshold", "20", path}, nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed input: exit %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "MapOverhead-8") || !strings.Contains(stdout.String(), "+29.66%") {
+		t.Errorf("verdict must name the regression:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-threshold", "50", path}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("tolerant threshold: exit %d, want 0\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no significant regression") {
+		t.Errorf("pass verdict missing:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run(nil, strings.NewReader("goos: linux\n"), &stdout, &stderr); code != 0 {
+		t.Fatalf("empty comparison: exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), "nothing to gate") {
+		t.Errorf("empty-comparison note missing:\n%s", stdout.String())
+	}
+
+	if code := run([]string{"/nonexistent.txt"}, nil, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"a", "b"}, nil, &stdout, &stderr); code != 2 {
+		t.Errorf("two files: exit %d, want 2", code)
+	}
+}

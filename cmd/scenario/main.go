@@ -2,12 +2,19 @@
 // the workload, optimize the L2 knobs under an AMAT budget, and optionally
 // run tuple-budget optimizations. Results are emitted as JSON.
 //
-// The input is either a single scenario object or a batch — a top-level
-// "scenarios" array — which runs concurrently with per-scenario isolation
-// (see examples/scenarios.json). With -stream, batch results are emitted
-// as NDJSON (one compact result object per line, in input order, written
-// as each scenario completes) instead of one buffered JSON document, so
-// arbitrarily large batches never accumulate in memory.
+// The input is a single scenario object, a batch — a top-level
+// "scenarios" array — or a grid document — a top-level "grid" object
+// declaring axes over the scenario fields, which expands into the full
+// factorial design-space sweep (see examples/gridsweep/spec.json and
+// internal/grid). Batches and grids run concurrently with per-scenario
+// isolation. With -stream, results are emitted as NDJSON (one compact
+// result object per line, in input order, written as each scenario
+// completes) instead of one buffered JSON document, so arbitrarily large
+// batches never accumulate in memory. With -frontier (grid input only),
+// the run additionally reduces its points to the leakage-vs-AMAT Pareto
+// front and appends a final {"frontier": [...]} summary — as the last
+// NDJSON line in -stream mode, as a "frontier" field of the buffered
+// document otherwise.
 //
 // With -checkpoint (batch + -stream only), every completed line is also
 // appended to a journal keyed by a content hash of the batch; adding
@@ -26,6 +33,7 @@
 //	scenario -f examples/scenarios.json -workers 4
 //	scenario -f examples/scenarios.json -stream -progress
 //	scenario -f examples/scenarios.json -stream -checkpoint run.journal -resume
+//	scenario -f examples/gridsweep/spec.json -stream -frontier
 //	scenario -f examples/scenarios.json -timeout 10m
 //	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
 //
@@ -53,6 +61,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/cli"
+	"repro/internal/grid"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -71,6 +80,7 @@ type options struct {
 	progress   bool
 	checkpoint string
 	resume     bool
+	frontier   bool
 	timeout    time.Duration
 }
 
@@ -81,6 +91,7 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.BoolVar(&o.progress, "progress", false, "report per-scenario completion on stderr")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed scenarios to this file (batch mode with -stream)")
 	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and run only unfinished scenarios")
+	fs.BoolVar(&o.frontier, "frontier", false, "append the leakage-vs-AMAT Pareto front summary (grid input only)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
 }
 
@@ -128,49 +139,40 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 2
 	}
 
+	if grid.IsSpec(data) {
+		spec, err := grid.Load(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		b, err := spec.Expand()
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		var fr *grid.Frontier
+		if o.frontier {
+			fr = &grid.Frontier{}
+		}
+		return runWorkBatch(ctx, b, o, fr, prog, stdout, stderr)
+	}
+
+	if o.frontier {
+		fmt.Fprintln(stderr, "scenario: -frontier requires a grid document (a top-level \"grid\" object)")
+		return 2
+	}
+
 	if scenario.IsBatch(data) {
 		b, err := scenario.LoadBatch(bytes.NewReader(data))
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
-		// Every batch mode runs through the unified driver: -stream is
-		// work.Run, -checkpoint adds its journal, and the buffered
-		// document is work.Collect reassembled.
-		opts := work.Options{Workers: o.workers, Progress: prog.Hook()}
-		if o.checkpoint != "" {
-			jr, done, err := work.OpenJournal(o.checkpoint, b, o.resume)
-			if err != nil {
-				fmt.Fprintln(stderr, "scenario:", err)
-				return 1
-			}
-			defer jr.Close()
-			if len(done) > 0 {
-				fmt.Fprintf(stderr, "scenario: resuming, %d/%d scenarios already journaled\n", len(done), b.Len())
-			}
-			opts.Journal, opts.Done = jr, done
-		}
-		if o.stream {
-			if err := work.Run(ctx, b, opts, stdout); err != nil {
-				return cli.Report("scenario", err, prog, stderr)
-			}
-			return 0
-		}
-		lines, err := work.Collect(ctx, b, opts)
-		if err != nil {
-			return cli.Report("scenario", err, prog, stderr)
-		}
-		out, err := renderBatchDoc(lines)
-		if err != nil {
-			fmt.Fprintln(stderr, "scenario:", err)
-			return 1
-		}
-		fmt.Fprintln(stdout, out)
-		return 0
+		return runWorkBatch(ctx, b, o, nil, prog, stdout, stderr)
 	}
 
 	if o.checkpoint != "" {
-		fmt.Fprintln(stderr, "scenario: -checkpoint requires a batch input (a top-level \"scenarios\" array)")
+		fmt.Fprintln(stderr, "scenario: -checkpoint requires a batch or grid input")
 		return 2
 	}
 
@@ -201,12 +203,95 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	return 0
 }
 
+// runWorkBatch drives any ordered workload (a scenario batch or an
+// expanded grid) through the unified driver: -stream is work.Run,
+// -checkpoint adds its journal, and the buffered document is work.Collect
+// reassembled. A non-nil frontier accumulates every result line — the
+// journal-replayed ones and this run's — keyed by input index, so the
+// appended summary always covers the whole grid even on a resume that
+// re-emits nothing.
+func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontier, prog *cli.Progress, stdout, stderr io.Writer) int {
+	opts := work.Options{Workers: o.workers, Progress: prog.Hook()}
+	if o.checkpoint != "" {
+		jr, done, err := work.OpenJournal(o.checkpoint, b, o.resume)
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		defer jr.Close()
+		if len(done) > 0 {
+			fmt.Fprintf(stderr, "scenario: resuming, %d/%d scenarios already journaled\n", len(done), b.Len())
+		}
+		opts.Journal, opts.Done = jr, done
+	}
+	if o.stream {
+		var frErr error
+		if fr != nil {
+			for i, line := range opts.Done {
+				if err := fr.Add(i, line); err != nil {
+					fmt.Fprintln(stderr, "scenario:", err)
+					return 1
+				}
+			}
+			opts.Observe = func(i int, line json.RawMessage) {
+				if err := fr.Add(i, line); err != nil && frErr == nil {
+					frErr = err
+				}
+			}
+		}
+		if err := work.Run(ctx, b, opts, stdout); err != nil {
+			return cli.Report("scenario", err, prog, stderr)
+		}
+		if frErr != nil {
+			fmt.Fprintln(stderr, "scenario:", frErr)
+			return 1
+		}
+		if fr != nil {
+			summary, err := fr.SummaryLine()
+			if err != nil {
+				fmt.Fprintln(stderr, "scenario:", err)
+				return 1
+			}
+			if _, err := fmt.Fprintf(stdout, "%s\n", summary); err != nil {
+				fmt.Fprintln(stderr, "scenario:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+	lines, err := work.Collect(ctx, b, opts)
+	if err != nil {
+		return cli.Report("scenario", err, prog, stderr)
+	}
+	var frontierJSON []byte
+	if fr != nil {
+		for i, line := range lines {
+			if err := fr.Add(i, line); err != nil {
+				fmt.Fprintln(stderr, "scenario:", err)
+				return 1
+			}
+		}
+		if frontierJSON, err = json.Marshal(fr.Points()); err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+	}
+	out, err := renderBatchDoc(lines, frontierJSON)
+	if err != nil {
+		fmt.Fprintln(stderr, "scenario:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, out)
+	return 0
+}
+
 // renderBatchDoc reassembles the driver's NDJSON lines into the buffered
-// {"scenarios": [...]} document. The result is byte-identical to
-// marshalling a scenario.BatchResult with two-space indentation:
-// MarshalIndent is Marshal followed by Indent, and each driver line is
-// already the compact marshal of its result.
-func renderBatchDoc(lines [][]byte) (string, error) {
+// {"scenarios": [...]} document, with an optional "frontier" field when a
+// grid run computed one. The result is byte-identical to marshalling a
+// scenario.BatchResult with two-space indentation: MarshalIndent is
+// Marshal followed by Indent, and each driver line is already the compact
+// marshal of its result.
+func renderBatchDoc(lines [][]byte, frontier []byte) (string, error) {
 	var compact bytes.Buffer
 	compact.WriteString(`{"scenarios":[`)
 	for i, line := range lines {
@@ -215,7 +300,12 @@ func renderBatchDoc(lines [][]byte) (string, error) {
 		}
 		compact.Write(line)
 	}
-	compact.WriteString(`]}`)
+	compact.WriteString(`]`)
+	if frontier != nil {
+		compact.WriteString(`,"frontier":`)
+		compact.Write(frontier)
+	}
+	compact.WriteString(`}`)
 	var out bytes.Buffer
 	if err := json.Indent(&out, compact.Bytes(), "", "  "); err != nil {
 		return "", err

@@ -268,6 +268,120 @@ func TestRunResumeRefusesDifferentBatch(t *testing.T) {
 	}
 }
 
+// tinyGrid expands to two points (16KB and 32KB L1) over a 256KB L2.
+const tinyGrid = `{"grid":{
+	"axes":{"l1_kb":[16,32]},
+	"base":{"l2_kb":256,"workload":"tpcc","accesses":20000}
+}}`
+
+// TestRunGridStreamFrontier runs a grid document end to end: one NDJSON
+// result line per expanded point, in row-major order, plus the final
+// {"frontier": [...]} summary — which must name only grid points.
+func TestRunGridStreamFrontier(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-frontier"}, strings.NewReader(tinyGrid), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 2 result lines + 1 frontier line, got %d:\n%s", len(lines), stdout.String())
+	}
+	for i, want := range []string{"g-l116-l2256-tpcc-s2", "g-l132-l2256-tpcc-s2"} {
+		var res struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &res); err != nil || res.Name != want {
+			t.Errorf("line %d names %q (err %v), want %q", i, res.Name, err, want)
+		}
+	}
+	var summary struct {
+		Frontier []struct {
+			Name      string  `json:"name"`
+			AMATPS    float64 `json:"amat_ps"`
+			LeakageMW float64 `json:"leakage_mw"`
+		} `json:"frontier"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &summary); err != nil {
+		t.Fatalf("frontier line is not JSON: %v\n%s", err, lines[2])
+	}
+	if len(summary.Frontier) == 0 {
+		t.Fatal("frontier is empty for a feasible grid")
+	}
+	for _, p := range summary.Frontier {
+		if !strings.HasPrefix(p.Name, "g-l1") {
+			t.Errorf("frontier point %q is not a grid point", p.Name)
+		}
+		if p.AMATPS <= 0 || p.LeakageMW <= 0 {
+			t.Errorf("frontier point %+v has non-positive coordinates", p)
+		}
+	}
+}
+
+// TestRunGridBufferedFrontier checks the buffered document gains the
+// "frontier" field and still carries every expanded point.
+func TestRunGridBufferedFrontier(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-frontier"}, strings.NewReader(tinyGrid), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var doc struct {
+		Scenarios []struct {
+			Name string `json:"name"`
+		} `json:"scenarios"`
+		Frontier []struct {
+			Name string `json:"name"`
+		} `json:"frontier"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(doc.Scenarios) != 2 || doc.Scenarios[0].Name != "g-l116-l2256-tpcc-s2" {
+		t.Errorf("unexpected scenarios: %+v", doc.Scenarios)
+	}
+	if len(doc.Frontier) == 0 {
+		t.Error("buffered document has no frontier")
+	}
+}
+
+// TestRunGridCheckpointResumeFrontier checks a resumed grid run re-emits
+// only the remainder but its frontier summary still covers every point —
+// including the journal-replayed ones.
+func TestRunGridCheckpointResumeFrontier(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "grid.journal")
+	var full bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-frontier", "-checkpoint", jpath}, strings.NewReader(tinyGrid), &full, &bytes.Buffer{}); code != 0 {
+		t.Fatal("seed run failed")
+	}
+	fullLines := strings.Split(strings.TrimRight(full.String(), "\n"), "\n")
+
+	var resumed, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-frontier", "-checkpoint", jpath, "-resume"}, strings.NewReader(tinyGrid), &resumed, &stderr); code != 0 {
+		t.Fatalf("resume: exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(resumed.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("fully journaled resume emitted %d lines, want the frontier only:\n%s", len(lines), resumed.String())
+	}
+	if lines[0] != fullLines[len(fullLines)-1] {
+		t.Errorf("resumed frontier %s\ndiffers from full run's %s", lines[0], fullLines[len(fullLines)-1])
+	}
+}
+
+// TestRunFrontierRequiresGrid pins the flag contract.
+func TestRunFrontierRequiresGrid(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-frontier"}, strings.NewReader(`{"scenarios":[`+tinyScenario+`]}`), &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-frontier on a batch: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "grid document") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(t.Context(), []string{"-frontier"}, strings.NewReader(tinyScenario), &bytes.Buffer{}, &stderr); code != 2 {
+		t.Errorf("-frontier on a single scenario: exit %d, want 2", code)
+	}
+}
+
 // TestRunCheckpointFlagValidation pins the flag contract.
 func TestRunCheckpointFlagValidation(t *testing.T) {
 	var stderr bytes.Buffer

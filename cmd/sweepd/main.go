@@ -8,9 +8,19 @@
 // processes as you have cores and machines.
 //
 // The workload is any registered payload kind: a scenario batch (the
-// default; input as for cmd/scenario) or, with -experiments, units of the
-// experiment registry emitting the same {"id","ascii","csv"} frames as
-// `figures -stream`.
+// default; input as for cmd/scenario), a design-space grid (-grid
+// spec.json — the document expands into its full factorial point product,
+// and each work unit carries only the spec plus a point range, so the
+// fleet re-expands deterministically instead of shipping every config),
+// or, with -experiments, units of the experiment registry emitting the
+// same {"id","ascii","csv"} frames as `figures -stream`.
+//
+// For experiment units the lease response declares the coordinator's
+// environment scale (accesses/seed/MinR2 — the scale the batch hash
+// pins); `sweepd work` verifies it against its own -quick/-accesses
+// configuration and hard-fails on mismatch, so a misconfigured worker
+// exits with a diagnostic instead of silently blending two simulation
+// scales into one result set.
 //
 // The coordinator is crash-tolerant on both sides: a worker that dies
 // mid-unit loses only its lease (the unit is re-leased when the lease
@@ -33,10 +43,12 @@
 //
 //	sweepd serve -f examples/scenarios.json -addr :8080
 //	sweepd serve -f big.json -units 64 -checkpoint big.journal -resume > results.ndjson
+//	sweepd serve -grid examples/gridsweep/spec.json -units 32 > grid.ndjson
 //	sweepd serve -experiments -ids fig1,fig2 -token s3cret
 //	sweepd work -coordinator http://host:8080
 //	sweepd work -coordinator http://host:8080 -workers 4 -token s3cret -progress
 //	sweepd journal -f big.json -checkpoint big.journal > results.ndjson
+//	sweepd journal -grid examples/gridsweep/spec.json -checkpoint grid.journal > grid.ndjson
 package main
 
 import (
@@ -55,6 +67,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -79,6 +92,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 // the exact environment scale) a checkpoint pins.
 type inputOptions struct {
 	file        string
+	grid        string
 	experiments bool
 	ids         string
 	quick       bool
@@ -88,6 +102,7 @@ type inputOptions struct {
 // registerInputFlags wires the workload-selection flags.
 func registerInputFlags(fs *flag.FlagSet, o *inputOptions) {
 	fs.StringVar(&o.file, "f", "", "scenario JSON file, single or batch (default stdin)")
+	fs.StringVar(&o.grid, "grid", "", "grid spec JSON file; expands into the full design-space point product")
 	fs.BoolVar(&o.experiments, "experiments", false, "work on experiment-registry units instead of a scenario batch")
 	fs.StringVar(&o.ids, "ids", "", "comma-separated experiment IDs with -experiments (default: the whole registry)")
 	fs.BoolVar(&o.quick, "quick", false, "pin the experiments batch to the quick environment scale (match the fleet and any figures checkpoint)")
@@ -145,6 +160,19 @@ func loadWorkBatch(o inputOptions, stdin io.Reader) (work.Batch, string, error) 
 		b, err := exp.NewBatch(ids, experimentsEnv(o))
 		return b, "experiments", err
 	}
+	if o.grid != "" {
+		f, err := os.Open(o.grid)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		spec, err := grid.Load(f)
+		if err != nil {
+			return nil, "", err
+		}
+		b, err := spec.Expand()
+		return b, "points", err
+	}
 	b, err := loadBatch(o.file, stdin)
 	return b, "scenarios", err
 }
@@ -159,10 +187,16 @@ func validateInput(o inputOptions, stderr io.Writer) bool {
 		fmt.Fprintln(stderr, "sweepd: -ids requires -experiments")
 		return false
 	case (o.quick || o.accesses > 0) && !o.experiments:
-		fmt.Fprintln(stderr, "sweepd: -quick/-accesses require -experiments (scenario batches carry their own accesses)")
+		fmt.Fprintln(stderr, "sweepd: -quick/-accesses require -experiments (scenario batches and grids carry their own accesses)")
 		return false
 	case o.file != "" && o.experiments:
 		fmt.Fprintln(stderr, "sweepd: -f does not apply to -experiments (use -ids to select artifacts)")
+		return false
+	case o.grid != "" && o.experiments:
+		fmt.Fprintln(stderr, "sweepd: -grid does not apply to -experiments")
+		return false
+	case o.grid != "" && o.file != "":
+		fmt.Fprintln(stderr, "sweepd: -grid and -f are mutually exclusive (one workload per sweep)")
 		return false
 	}
 	return true
@@ -331,6 +365,10 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 		Exec:        dist.RegistryExecutor(o.workers),
 		Poll:        o.poll,
 		Token:       o.token,
+		// Hard-fail when the coordinator's declared experiment scale does
+		// not match this process's -quick/-accesses configuration — a
+		// mixed-scale fleet must be a loud error, not blended results.
+		VerifyEnv: exp.VerifyScale,
 	}
 	if o.progress {
 		w.OnUnit = func(u dist.Unit) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -332,6 +333,45 @@ func TestJournalExperimentsScale(t *testing.T) {
 	}
 }
 
+// TestServeGridMatchesDriver checks `serve -grid` distributes a grid
+// spec's expanded point product and reassembles exactly the sequential
+// driver's NDJSON — the third payload kind at the binary level.
+func TestServeGridMatchesDriver(t *testing.T) {
+	specJSON := `{"grid":{
+		"axes":{"l1_kb":[16,32]},
+		"base":{"l2_kb":256,"workload":"tpcc","accesses":20000}
+	}}`
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := grid.Load(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := work.Run(t.Context(), b, work.Options{Workers: 1}, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := t.Context()
+	url, wait := startServe(t, ctx, []string{"-grid", specPath, "-units", "2"}, "")
+	if code := runWorkCmd(t, ctx, url, "gw0"); code != 0 {
+		t.Fatalf("worker: exit %d", code)
+	}
+	code, stdout := wait()
+	if code != 0 {
+		t.Fatalf("serve: exit %d", code)
+	}
+	if stdout != want.String() {
+		t.Errorf("distributed grid output differs from driver:\n got: %q\nwant: %q", stdout, want.String())
+	}
+}
+
 // TestFlagAndDispatchErrors pins the CLI error contract.
 func TestFlagAndDispatchErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -356,6 +396,15 @@ func TestFlagAndDispatchErrors(t *testing.T) {
 	}
 	if code := run(t.Context(), []string{"serve", "-quick"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Errorf("serve -quick without -experiments: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-grid", "g.json", "-experiments"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -grid with -experiments: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-grid", "g.json", "-f", "b.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -grid with -f: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-grid", "/nonexistent.json"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("missing grid file: exit %d, want 1", code)
 	}
 	if code := run(t.Context(), []string{"journal", "-checkpoint", "j", "-accesses", "5"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Errorf("journal -accesses without -experiments: exit %d, want 2", code)

@@ -296,7 +296,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		u.state = unitLeased
 		u.worker = req.Worker
 		u.deadline = now.Add(c.ttl)
-		writeJSON(w, http.StatusOK, LeaseResponse{Unit: &u.unit, LeaseTTLMS: c.ttl.Milliseconds()})
+		writeJSON(w, http.StatusOK, LeaseResponse{Unit: &u.unit, Env: c.spec.Env, LeaseTTLMS: c.ttl.Milliseconds()})
 		return
 	}
 	writeJSON(w, http.StatusOK, LeaseResponse{RetryAfterMS: c.retry.Milliseconds()})

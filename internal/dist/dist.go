@@ -74,6 +74,12 @@ type Spec struct {
 	N int
 	// Payload renders the work description for one contiguous item range.
 	Payload func(r sweep.Range) (json.RawMessage, error)
+	// Env, when non-nil, describes process-wide environment state the
+	// batch's output depends on (work.EnvDescriber — the experiments
+	// kind's simulation scale). It rides along with every granted lease so
+	// workers can refuse units their local environment would compute
+	// differently.
+	Env json.RawMessage
 }
 
 // leaseRequest is the body of POST /v1/lease.
@@ -90,6 +96,12 @@ type LeaseResponse struct {
 	// Unit is the leased work unit, nil when Done or when all remaining
 	// units are leased to other workers.
 	Unit *Unit `json:"unit,omitempty"`
+	// Env, present only alongside Unit, is the coordinator's declared
+	// environment for the batch (Spec.Env) — for the experiments kind,
+	// the simulation scale the batch hash pins. Workers with a VerifyEnv
+	// hook check it against their local environment and hard-fail on
+	// mismatch instead of silently blending scales into one result set.
+	Env json.RawMessage `json:"env,omitempty"`
 	// LeaseTTLMS is the lease duration; workers heartbeat a few times per
 	// TTL to keep the lease alive.
 	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`

@@ -22,12 +22,20 @@ func SpecOf(b work.Batch) (Spec, error) {
 	if err != nil {
 		return Spec{}, err
 	}
-	return Spec{
+	spec := Spec{
 		Kind:    b.Kind(),
 		Hash:    hash,
 		N:       b.Len(),
 		Payload: b.MarshalRange,
-	}, nil
+	}
+	// Kinds whose output depends on process-wide environment state
+	// declare it here, and every lease carries it to the fleet.
+	if d, ok := b.(work.EnvDescriber); ok {
+		if spec.Env, err = d.DescribeEnv(); err != nil {
+			return Spec{}, err
+		}
+	}
+	return spec, nil
 }
 
 // RegistryExecutor returns the universal worker-side executor: it rebuilds

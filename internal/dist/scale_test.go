@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sweep"
+)
+
+// TestSpecOfDescribesEnv checks SpecOf forwards an EnvDescriber batch's
+// environment — and leaves Env empty for self-contained kinds.
+func TestSpecOfDescribesEnv(t *testing.T) {
+	env := exp.NewQuickEnv()
+	eb, err := exp.NewBatch([]string{"fig1", "fig2"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpecOf(eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scale exp.Scale
+	if err := json.Unmarshal(spec.Env, &scale); err != nil {
+		t.Fatalf("spec env %s: %v", spec.Env, err)
+	}
+	if want := exp.ScaleOf(env); scale != want {
+		t.Errorf("spec declares %v, want %v", scale, want)
+	}
+
+	if spec, err := SpecOf(toyWorkBatch{}); err != nil || spec.Env != nil {
+		t.Errorf("self-contained kind got env %s (err %v)", spec.Env, err)
+	}
+}
+
+// toyWorkBatch is a minimal work.Batch with no EnvDescriber.
+type toyWorkBatch struct{}
+
+func (toyWorkBatch) Kind() string          { return "toy" }
+func (toyWorkBatch) Len() int              { return 1 }
+func (toyWorkBatch) Hash() (string, error) { return "toyhash", nil }
+func (toyWorkBatch) RunItem(context.Context, int) (json.RawMessage, error) {
+	return json.RawMessage(`{}`), nil
+}
+func (toyWorkBatch) MarshalRange(r sweep.Range) (json.RawMessage, error) {
+	return json.Marshal(r)
+}
+
+// TestWorkerVerifyEnvHardFails pins the fleet-scale agreement: a worker
+// whose VerifyEnv rejects the coordinator's declared environment exits
+// with that error before executing anything — and without aborting the
+// batch, so a correctly configured peer can still finish the sweep.
+func TestWorkerVerifyEnvHardFails(t *testing.T) {
+	spec := toySpec(4)
+	spec.Env = json.RawMessage(`{"accesses":1000000,"seed":1,"min_r2":0.97}`)
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, spec, Config{Units: 2, LeaseTTL: 200 * time.Millisecond})
+
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+
+	executed := false
+	bad := &Worker{
+		Coordinator: srv.URL,
+		ID:          "misconfigured",
+		Client:      srv.Client(),
+		Poll:        5 * time.Millisecond,
+		VerifyEnv: func(kind string, env json.RawMessage) error {
+			if kind != "toy" {
+				t.Errorf("VerifyEnv saw kind %q", kind)
+			}
+			if !strings.Contains(string(env), "1000000") {
+				t.Errorf("VerifyEnv saw env %s", env)
+			}
+			return fmt.Errorf("scale mismatch: fleet wants full, this worker runs -quick")
+		},
+		Exec: func(ctx context.Context, u Unit) ([][]byte, error) {
+			executed = true
+			return toyExec(-1)(ctx, u)
+		},
+	}
+	err := bad.Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "scale mismatch") {
+		t.Fatalf("misconfigured worker returned %v, want the mismatch error", err)
+	}
+	if executed {
+		t.Error("misconfigured worker executed a unit before failing")
+	}
+
+	// The batch is not poisoned: a good worker drains it completely once
+	// the misconfigured worker's abandoned lease expires.
+	good := &Worker{
+		Coordinator: srv.URL,
+		ID:          "aligned",
+		Client:      srv.Client(),
+		Poll:        5 * time.Millisecond,
+		VerifyEnv:   func(string, json.RawMessage) error { return nil },
+		Exec:        toyExec(-1),
+	}
+	if err := good.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := (<-done).String(); got != toyWant(4) {
+		t.Errorf("reassembled output = %q, want %q", got, toyWant(4))
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -90,16 +90,44 @@ func (b *Batch) Kind() string { return WorkKind }
 // Len is the number of experiments in the batch.
 func (b *Batch) Len() int { return len(b.ids) }
 
+// Scale is the environment scale an experiments batch pins: the Env
+// knobs that change result bytes. It is what the content hash covers
+// (alongside the artifact selection) and what the dist coordinator
+// declares to the fleet with every lease.
+type Scale struct {
+	Accesses int     `json:"accesses"`
+	Seed     int64   `json:"seed"`
+	MinR2    float64 `json:"min_r2"`
+}
+
+// ScaleOf extracts the environment scale of an Env.
+func ScaleOf(e *Env) Scale {
+	return Scale{Accesses: e.Accesses, Seed: e.Seed, MinR2: e.MinR2}
+}
+
+// String renders the scale for diagnostics.
+func (s Scale) String() string {
+	return fmt.Sprintf("accesses=%d seed=%d min_r2=%g", s.Accesses, s.Seed, s.MinR2)
+}
+
 // hashPayload is what the content hash covers: the artifact selection
-// plus the environment knobs that change result bytes. The scenario kind
-// gets this for free (its configs embed accesses); here it prevents a
-// resume at a different -quick/-accesses scale from silently splicing two
-// simulation scales into one result set.
+// plus the environment scale. The scenario kind gets this for free (its
+// configs embed accesses); here it prevents a resume at a different
+// -quick/-accesses scale from silently splicing two simulation scales
+// into one result set.
 type hashPayload struct {
-	IDs      []string `json:"ids"`
-	Accesses int      `json:"accesses"`
-	Seed     int64    `json:"seed"`
-	MinR2    float64  `json:"min_r2"`
+	IDs []string `json:"ids"`
+	Scale
+}
+
+// scale resolves the batch's environment scale (explicit Env or the
+// shared process environment).
+func (b *Batch) scale() Scale {
+	env := b.env
+	if env == nil {
+		env = processEnv()
+	}
+	return ScaleOf(env)
 }
 
 // Hash is the canonical content hash pinning checkpoint journals and
@@ -107,11 +135,36 @@ type hashPayload struct {
 // environment scale — resuming the same IDs with different simulation
 // parameters is refused as a batch-hash mismatch.
 func (b *Batch) Hash() (string, error) {
-	env := b.env
-	if env == nil {
-		env = processEnv()
+	return journal.Hash(hashPayload{IDs: b.ids, Scale: b.scale()})
+}
+
+// DescribeEnv implements work.EnvDescriber: the batch's scale as JSON.
+// The dist coordinator forwards it with every lease, so a fleet worker
+// can verify its local configuration before executing a single unit.
+func (b *Batch) DescribeEnv() (json.RawMessage, error) {
+	return json.Marshal(b.scale())
+}
+
+// VerifyScale is the worker-side half of fleet environment-scale
+// agreement (dist.Worker.VerifyEnv): for experiment units it decodes the
+// coordinator's declared Scale and compares it to this process's shared
+// environment — the one `sweepd work -quick`/`-accesses` configured. A
+// mismatch is a hard error naming both scales; any other kind passes
+// (their payloads are self-contained).
+func VerifyScale(kind string, env json.RawMessage) error {
+	if kind != WorkKind {
+		return nil
 	}
-	return journal.Hash(hashPayload{IDs: b.ids, Accesses: env.Accesses, Seed: env.Seed, MinR2: env.MinR2})
+	dec := json.NewDecoder(bytes.NewReader(env))
+	dec.DisallowUnknownFields()
+	var want Scale
+	if err := dec.Decode(&want); err != nil {
+		return fmt.Errorf("exp: lease environment: %w", err)
+	}
+	if got := ScaleOf(processEnv()); got != want {
+		return fmt.Errorf("exp: environment scale mismatch: coordinator declares %v, this worker runs %v (align -quick/-accesses across the fleet)", want, got)
+	}
+	return nil
 }
 
 // RunItem executes experiment i against the batch's environment and

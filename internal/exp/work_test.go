@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -107,6 +108,68 @@ func TestWorkBatchWireRoundTrip(t *testing.T) {
 	}
 	if ids := eb.IDs(); len(ids) != 2 || ids[0] != "fig2" || ids[1] != "tab-l1" {
 		t.Fatalf("decoded ids = %v", ids)
+	}
+}
+
+// TestDescribeEnvCarriesScale checks the lease-borne environment
+// description is exactly the batch's scale.
+func TestDescribeEnvCarriesScale(t *testing.T) {
+	env := NewQuickEnv()
+	env.Seed = 7
+	b, err := NewBatch([]string{"fig1"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := b.DescribeEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"accesses":400000,"seed":7,"min_r2":0.97}`
+	if string(desc) != want {
+		t.Errorf("DescribeEnv = %s, want %s", desc, want)
+	}
+}
+
+// TestVerifyScale pins the worker-side fleet agreement check: matching
+// scales pass, mismatches hard-fail naming both, non-experiment kinds and
+// malformed descriptions behave sanely.
+func TestVerifyScale(t *testing.T) {
+	defer SetProcessEnv(nil)
+	SetProcessEnv(NewQuickEnv)
+	local, err := NewBatch([]string{"fig1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := local.DescribeEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyScale(WorkKind, desc); err != nil {
+		t.Errorf("matching scale rejected: %v", err)
+	}
+
+	fullDesc, err := func() (json.RawMessage, error) {
+		b, err := NewBatch([]string{"fig1"}, NewEnv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.DescribeEnv()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyScale(WorkKind, fullDesc)
+	if err == nil || !strings.Contains(err.Error(), "scale mismatch") ||
+		!strings.Contains(err.Error(), "accesses=1000000") || !strings.Contains(err.Error(), "accesses=400000") {
+		t.Errorf("mismatch err = %v, want both scales named", err)
+	}
+
+	// Other kinds carry self-contained payloads: nothing to verify.
+	if err := VerifyScale("scenario-batch", fullDesc); err != nil {
+		t.Errorf("non-experiment kind checked: %v", err)
+	}
+	if err := VerifyScale(WorkKind, json.RawMessage(`{"bogus":1}`)); err == nil {
+		t.Error("malformed lease environment accepted")
 	}
 }
 

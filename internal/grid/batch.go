@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dist/journal"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/work"
+)
+
+// WorkKind tags grid work in checkpoint journals, distributed units, and
+// the work registry. It is the third registered kind — and the first
+// whose batch *generates* its design points instead of enumerating them:
+// the wire payload is the spec plus a point range, not the points.
+const WorkKind = "grid"
+
+// Batch is an expanded grid as a work.Batch: an ordered slice of the
+// full row-major expansion, each point running as one scenario and
+// rendering the same compact NDJSON line `scenario -stream` emits — so a
+// grid run is indistinguishable, line for line, from the equivalent
+// hand-enumerated scenario batch.
+type Batch struct {
+	grid    Grid              // defaulted spec
+	r       sweep.Range       // the slice of the full expansion this batch covers
+	n       int               // full-grid point count
+	configs []scenario.Config // expanded configs for [r.Lo, r.Hi)
+}
+
+var _ work.Batch = (*Batch)(nil)
+
+// wirePayload is the self-contained wire form of a grid slice: the whole
+// (defaulted) spec plus the absolute point range. A worker re-expands the
+// spec — deterministically, so its points match the coordinator's byte
+// for byte — and slices out its range; the payload stays a few hundred
+// bytes no matter how many points the range covers.
+type wirePayload struct {
+	Grid  Grid        `json:"grid"`
+	Range sweep.Range `json:"range"`
+}
+
+func init() {
+	work.Register(WorkKind, func(payload json.RawMessage) (work.Batch, error) {
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		var p wirePayload
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("grid: work payload: %w", err)
+		}
+		if err := (Spec{Grid: p.Grid}).Validate(); err != nil {
+			return nil, err
+		}
+		g := p.Grid.withDefaults()
+		n, axes, err := pointCount(g)
+		if err != nil {
+			return nil, err
+		}
+		r := p.Range
+		if r.Lo < 0 || r.Hi > n || r.Lo >= r.Hi {
+			return nil, fmt.Errorf("grid: range [%d, %d) out of bounds for %d points", r.Lo, r.Hi, n)
+		}
+		// Only the unit's own points are materialized — O(range), not
+		// O(grid). The full-grid duplicate-name check ran on the
+		// coordinator's Expand, whose spec this payload's hash pins.
+		configs, err := expandRange(g, axes, r.Lo, r.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &Batch{grid: g, r: r, n: n, configs: configs}, nil
+	})
+}
+
+// Expand validates the spec and materializes the full grid, in row-major
+// order over the canonical axis order, with every expanded name checked
+// unique.
+func (s Spec) Expand() (*Batch, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := s.Grid.withDefaults()
+	n, axes, err := pointCount(g)
+	if err != nil {
+		return nil, err
+	}
+	configs, err := expandRange(g, axes, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string]int, n)
+	for i, cfg := range configs {
+		if prev, dup := names[cfg.Name]; dup {
+			return nil, fmt.Errorf("grid: points %d and %d both expand to name %q (add the distinguishing axes to the name template)",
+				prev, i, cfg.Name)
+		}
+		names[cfg.Name] = i
+	}
+	return &Batch{grid: g, r: sweep.Range{Lo: 0, Hi: n}, n: n, configs: configs}, nil
+}
+
+// Configs returns the expanded point configs of this batch (slice), in
+// order — the golden tests and docs render these.
+func (b *Batch) Configs() []scenario.Config {
+	return append([]scenario.Config(nil), b.configs...)
+}
+
+// Kind names the grid payload family.
+func (b *Batch) Kind() string { return WorkKind }
+
+// Len is the number of points in this batch (slice).
+func (b *Batch) Len() int { return len(b.configs) }
+
+// Hash is the canonical content hash of this batch: the hex SHA-256 of
+// its wire form — the defaulted spec plus the covered range. Expansion is
+// deterministic, so the spec pins the points; hashing it (rather than the
+// expansion) keeps the hash O(spec) while still refusing a resume against
+// any edit that would change a single point.
+func (b *Batch) Hash() (string, error) {
+	return journal.Hash(wirePayload{Grid: b.grid, Range: b.r})
+}
+
+// RunItem executes point i of this batch as one scenario and returns its
+// compact NDJSON line.
+func (b *Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
+	res, err := scenario.RunCtx(ctx, b.configs[i])
+	if err != nil {
+		return nil, fmt.Errorf("grid point %q: %w", b.configs[i].Name, err)
+	}
+	return res.NDJSONLine()
+}
+
+// MarshalRange renders the wire payload for the batch-relative range
+// [r.Lo, r.Hi): the spec plus the corresponding absolute point range.
+func (b *Batch) MarshalRange(r sweep.Range) (json.RawMessage, error) {
+	abs := sweep.Range{Lo: b.r.Lo + r.Lo, Hi: b.r.Lo + r.Hi}
+	if r.Lo < 0 || abs.Hi > b.r.Hi || r.Lo >= r.Hi {
+		return nil, fmt.Errorf("grid: marshal range [%d, %d) out of bounds for %d items", r.Lo, r.Hi, b.Len())
+	}
+	return json.Marshal(wirePayload{Grid: b.grid, Range: abs})
+}

@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Frontier reduces a grid run's NDJSON result lines to the
+// leakage-vs-AMAT Pareto front across design points: the set of feasible
+// points no other point beats on both optimized-L2 leakage and achieved
+// AMAT. It follows opt.ParetoFront's semantics — sorted by increasing
+// AMAT, strictly decreasing leakage, dominated-or-equal points dropped —
+// with strict input-order tie-breaking: of two points with identical
+// (AMAT, leakage), the earlier design point survives, so the front is a
+// pure function of the grid, not of execution order.
+//
+// Feed it lines keyed by input index (Add tolerates any call order — a
+// resumed run adds journal-replayed lines and freshly streamed lines as
+// they arrive) and render the final {"frontier": [...]} summary with
+// SummaryLine.
+type Frontier struct {
+	cand []frontierCand
+}
+
+// frontierCand is one feasible design point awaiting reduction.
+type frontierCand struct {
+	idx       int
+	name      string
+	amatPS    float64
+	leakageMW float64
+}
+
+// FrontierPoint is one surviving design point of the front.
+type FrontierPoint struct {
+	Name      string  `json:"name"`
+	AMATPS    float64 `json:"amat_ps"`
+	LeakageMW float64 `json:"leakage_mw"`
+}
+
+// frontierSummary is the final summary object.
+type frontierSummary struct {
+	Frontier []FrontierPoint `json:"frontier"`
+}
+
+// Add records the result line of design point i. Infeasible points (no
+// knob assignment met the AMAT budget) are skipped — they have no
+// leakage/AMAT coordinates to trade off. Lines must be the scenario
+// result frames a grid run emits.
+func (f *Frontier) Add(i int, line []byte) error {
+	var res struct {
+		Name string `json:"name"`
+		L2   struct {
+			Feasible  bool    `json:"feasible"`
+			LeakageMW float64 `json:"leakage_mw"`
+			AMATPS    float64 `json:"amat_ps"`
+		} `json:"l2_optimization"`
+	}
+	if err := json.Unmarshal(line, &res); err != nil {
+		return fmt.Errorf("grid: frontier line %d: %w", i, err)
+	}
+	if !res.L2.Feasible {
+		return nil
+	}
+	f.cand = append(f.cand, frontierCand{
+		idx:       i,
+		name:      res.Name,
+		amatPS:    res.L2.AMATPS,
+		leakageMW: res.L2.LeakageMW,
+	})
+	return nil
+}
+
+// Points computes the front: candidates sorted by (AMAT, leakage, input
+// index), then reduced with a strictly-decreasing leakage scan. The
+// result is never nil, so an all-infeasible grid summarizes as
+// {"frontier": []}.
+func (f *Frontier) Points() []FrontierPoint {
+	sorted := append([]frontierCand(nil), f.cand...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].amatPS != sorted[j].amatPS {
+			return sorted[i].amatPS < sorted[j].amatPS
+		}
+		if sorted[i].leakageMW != sorted[j].leakageMW {
+			return sorted[i].leakageMW < sorted[j].leakageMW
+		}
+		return sorted[i].idx < sorted[j].idx
+	})
+	out := []FrontierPoint{}
+	for _, c := range sorted {
+		if len(out) > 0 && c.leakageMW >= out[len(out)-1].LeakageMW {
+			continue
+		}
+		out = append(out, FrontierPoint{Name: c.name, AMATPS: c.amatPS, LeakageMW: c.leakageMW})
+	}
+	return out
+}
+
+// SummaryLine renders the final compact {"frontier": [...]} summary
+// object (no trailing newline) — the line a grid run appends after its
+// per-point results.
+func (f *Frontier) SummaryLine() ([]byte, error) {
+	return json.Marshal(frontierSummary{Frontier: f.Points()})
+}

@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+)
+
+// line fabricates one grid result line with the fields the frontier
+// reads.
+func line(name string, feasible bool, leakMW, amatPS float64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"name":%q,"l2_optimization":{"feasible":%v,"leakage_mw":%g,"amat_ps":%g}}`,
+		name, feasible, leakMW, amatPS))
+}
+
+// TestFrontierDominance pins the reduction: dominated points drop,
+// survivors sort by increasing AMAT with strictly decreasing leakage.
+func TestFrontierDominance(t *testing.T) {
+	var f Frontier
+	for i, l := range [][]byte{
+		line("mid", true, 10, 2000),
+		line("dominated", true, 12, 2500), // slower and leakier than "mid"
+		line("fast-hot", true, 30, 1500),
+		line("slow-cool", true, 5, 3000),
+		line("infeasible", false, 1, 1),
+	} {
+		if err := f.Add(i, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := f.Points()
+	want := []FrontierPoint{
+		{Name: "fast-hot", AMATPS: 1500, LeakageMW: 30},
+		{Name: "mid", AMATPS: 2000, LeakageMW: 10},
+		{Name: "slow-cool", AMATPS: 3000, LeakageMW: 5},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("front = %+v, want %+v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("front[%d] = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+// TestFrontierInputOrderTieBreak pins the strict tie-breaking: of two
+// points with identical coordinates, the earlier input index survives —
+// regardless of Add call order, so streamed and resumed runs agree.
+func TestFrontierInputOrderTieBreak(t *testing.T) {
+	var f Frontier
+	// Added out of input order, as a resumed run would.
+	if err := f.Add(7, line("later", true, 10, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(2, line("earlier", true, 10, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	pts := f.Points()
+	if len(pts) != 1 || pts[0].Name != "earlier" {
+		t.Fatalf("front = %+v, want exactly the earlier point", pts)
+	}
+}
+
+// TestFrontierEqualAMATKeepsCooler pins the same-AMAT case: only the
+// least-leaky point at a given AMAT survives.
+func TestFrontierEqualAMATKeepsCooler(t *testing.T) {
+	var f Frontier
+	if err := f.Add(0, line("hot", true, 20, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(1, line("cool", true, 10, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	pts := f.Points()
+	if len(pts) != 1 || pts[0].Name != "cool" {
+		t.Fatalf("front = %+v, want exactly the cooler point", pts)
+	}
+}
+
+// TestFrontierSummaryLine pins the summary frame, including the empty
+// (all-infeasible) case rendering as an empty array, not null.
+func TestFrontierSummaryLine(t *testing.T) {
+	var empty Frontier
+	if err := empty.Add(0, line("x", false, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := empty.SummaryLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s) != `{"frontier":[]}` {
+		t.Errorf("empty summary = %s", s)
+	}
+
+	var one Frontier
+	if err := one.Add(0, line("p", true, 2.5, 1800)); err != nil {
+		t.Fatal(err)
+	}
+	s, err = one.SummaryLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"frontier":[{"name":"p","amat_ps":1800,"leakage_mw":2.5}]}`
+	if string(s) != want {
+		t.Errorf("summary = %s, want %s", s, want)
+	}
+}
+
+// TestFrontierBadLine pins the parse diagnostic.
+func TestFrontierBadLine(t *testing.T) {
+	var f Frontier
+	if err := f.Add(3, []byte(`not json`)); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}

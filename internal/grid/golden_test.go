@@ -1,0 +1,68 @@
+package grid
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+const fixturePath = "../../examples/gridsweep/spec.json"
+const goldenPath = "testdata/expand.golden.json"
+
+// TestExpandGolden expands the example grid spec and compares the
+// materialized scenario batch — point order, names, defaulted fields —
+// against the checked-in golden file. Expansion is pure (no simulation),
+// so this pins the full deterministic-expansion contract: row-major
+// order, canonical axis order, name templating, and defaulting.
+// Regenerate with:
+//
+//	go test ./internal/grid -run TestExpandGolden -update
+func TestExpandGolden(t *testing.T) {
+	f, err := os.Open(fixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := struct {
+		Scenarios []scenario.Config `json:"scenarios"`
+	}{Scenarios: b.Configs()}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out) + "\n"
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("grid expansion drifted from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			goldenPath, got, want)
+	}
+}

@@ -1,0 +1,337 @@
+// Package grid turns a compact JSON document of design-space axes into a
+// full factorial sweep over scenario configurations — the paper's central
+// artifact (L1/L2 capacities × assignment scheme × workload × AMAT budget
+// grids) as a first-class workload instead of a hand-enumerated scenario
+// list. A grid.Spec declares axes over the existing scenario.Config
+// fields; Expand materializes the cross product deterministically
+// (row-major over a documented axis order) into a grid.Batch, which
+// implements work.Batch — so streaming, checkpoint/resume, and sweepd
+// distribution come from the unified driver with no new execution code.
+//
+// The document is a top-level "grid" object:
+//
+//	{
+//	  "grid": {
+//	    "name": "g-l1{l1_kb}-l2{l2_kb}-{workload}-s{scheme}",
+//	    "axes": {
+//	      "l1_kb":   [16, 32],
+//	      "l2_kb":   [256, 512, 1024],
+//	      "workload": ["tpcc", "spec2000"],
+//	      "scheme":  [2, 3]
+//	    },
+//	    "base": {"accesses": 60000},
+//	    "max_points": 4096
+//	  }
+//	}
+//
+// Axes may cover l1_kb, l2_kb, workload, scheme, amat_budget_ps, and
+// fast_memory. Every other scenario field (and any axed field the spec
+// omits) comes from "base", an ordinary scenario config without a name.
+// Expansion is row-major over the canonical axis order — l1_kb, l2_kb,
+// workload, scheme, amat_budget_ps, fast_memory, later axes varying
+// faster; the declaration order of the JSON keys is irrelevant — so
+// point order is a pure function of the spec.
+// Each point's name renders from the "name" template (placeholders are
+// the axis field names in braces; fast_memory renders as "fast"/"slow");
+// expanded names must be unique, which forces the template to mention
+// every axis that actually varies. Grids larger than max_points (default
+// DefaultMaxPoints, hard-capped at HardMaxPoints) are refused at
+// expansion, before any simulation runs.
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// DefaultNameTemplate names points when the spec does not: it mentions
+// the four axes the paper's study varies. Grids that vary
+// amat_budget_ps or fast_memory must extend the template, or expansion
+// fails on duplicate names.
+const DefaultNameTemplate = "g-l1{l1_kb}-l2{l2_kb}-{workload}-s{scheme}"
+
+// DefaultMaxPoints is the expansion cap when the spec does not raise it:
+// large enough for the paper's full L1×L2×workload×scheme product, small
+// enough that a typo'd axis fails loudly instead of materializing a
+// million scenarios.
+const DefaultMaxPoints = 4096
+
+// HardMaxPoints bounds max_points itself: expansion materializes every
+// config up front (so hashes, names, and shard geometry are total
+// functions of the spec), and this keeps that materialization in memory
+// terms a laptop survives.
+const HardMaxPoints = 1 << 18
+
+// Spec is the JSON document: one top-level "grid" object.
+type Spec struct {
+	Grid Grid `json:"grid"`
+}
+
+// Grid declares the sweep: axes, the base config shared by every point,
+// the name template, and the point-count cap.
+type Grid struct {
+	// Name is the point-name template; placeholders like {l1_kb} render
+	// the point's field values (default DefaultNameTemplate).
+	Name string `json:"name,omitempty"`
+	// Axes are the varied fields.
+	Axes Axes `json:"axes"`
+	// Base carries every field the axes do not vary (workload defaults,
+	// accesses, seed, tuple budgets, ...). Its name must be empty — point
+	// names come from the template — and it must not set a field an axis
+	// already declares.
+	Base scenario.Config `json:"base,omitempty"`
+	// MaxPoints caps the expansion (0 = DefaultMaxPoints; values above
+	// HardMaxPoints are refused).
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// Axes are the design-space dimensions, each a list of values for one
+// scenario.Config field. A nil axis is simply not varied (the base value
+// applies); a present-but-empty axis is an error.
+type Axes struct {
+	L1KB         []int     `json:"l1_kb,omitempty"`
+	L2KB         []int     `json:"l2_kb,omitempty"`
+	Workload     []string  `json:"workload,omitempty"`
+	Scheme       []int     `json:"scheme,omitempty"`
+	AMATBudgetPS []float64 `json:"amat_budget_ps,omitempty"`
+	FastMemory   []bool    `json:"fast_memory,omitempty"`
+}
+
+// Load parses a grid spec, rejecting unknown fields so typos fail loud.
+func Load(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("grid: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// IsSpec reports whether the JSON document carries a top-level "grid" key —
+// how cmd/scenario tells a grid document from a scenario or batch.
+func IsSpec(data []byte) bool {
+	var probe struct {
+		Grid json.RawMessage `json:"grid"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return probe.Grid != nil
+}
+
+// withDefaults fills the template and cap.
+func (g Grid) withDefaults() Grid {
+	if g.Name == "" {
+		g.Name = DefaultNameTemplate
+	}
+	if g.MaxPoints == 0 {
+		g.MaxPoints = DefaultMaxPoints
+	}
+	return g
+}
+
+// axis is one resolved dimension of the expansion.
+type axis struct {
+	field string
+	n     int
+	set   func(c *scenario.Config, k int)
+}
+
+// axes resolves the declared dimensions in canonical row-major order. A
+// declared-but-empty axis is an error: it would silently expand to zero
+// points.
+func (g Grid) axes() ([]axis, error) {
+	all := []struct {
+		field string
+		n     int
+		nilp  bool
+		set   func(c *scenario.Config, k int)
+	}{
+		{"l1_kb", len(g.Axes.L1KB), g.Axes.L1KB == nil,
+			func(c *scenario.Config, k int) { c.L1KB = g.Axes.L1KB[k] }},
+		{"l2_kb", len(g.Axes.L2KB), g.Axes.L2KB == nil,
+			func(c *scenario.Config, k int) { c.L2KB = g.Axes.L2KB[k] }},
+		{"workload", len(g.Axes.Workload), g.Axes.Workload == nil,
+			func(c *scenario.Config, k int) { c.Workload = g.Axes.Workload[k] }},
+		{"scheme", len(g.Axes.Scheme), g.Axes.Scheme == nil,
+			func(c *scenario.Config, k int) { c.Scheme = g.Axes.Scheme[k] }},
+		{"amat_budget_ps", len(g.Axes.AMATBudgetPS), g.Axes.AMATBudgetPS == nil,
+			func(c *scenario.Config, k int) { c.AMATBudgetPS = g.Axes.AMATBudgetPS[k] }},
+		{"fast_memory", len(g.Axes.FastMemory), g.Axes.FastMemory == nil,
+			func(c *scenario.Config, k int) { c.FastMemory = g.Axes.FastMemory[k] }},
+	}
+	var out []axis
+	for _, a := range all {
+		if a.nilp {
+			continue
+		}
+		if a.n == 0 {
+			return nil, fmt.Errorf("grid: axis %s is empty (omit the axis to not vary it)", a.field)
+		}
+		out = append(out, axis{field: a.field, n: a.n, set: a.set})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("grid: no axes declared")
+	}
+	return out, nil
+}
+
+// baseCollisions reports axed fields the base also sets — an ambiguity
+// (which value wins?) this package refuses instead of resolving silently.
+// fast_memory is exempt: its zero value is indistinguishable from unset,
+// and false is the default anyway.
+func (g Grid) baseCollisions() error {
+	set := map[string]bool{
+		"l1_kb":          g.Base.L1KB != 0,
+		"l2_kb":          g.Base.L2KB != 0,
+		"workload":       g.Base.Workload != "",
+		"scheme":         g.Base.Scheme != 0,
+		"amat_budget_ps": g.Base.AMATBudgetPS != 0,
+	}
+	axes, err := g.axes()
+	if err != nil {
+		return err
+	}
+	for _, a := range axes {
+		if set[a.field] {
+			return fmt.Errorf("grid: base sets %s, which is also an axis (drop one)", a.field)
+		}
+	}
+	return nil
+}
+
+// Validate reports structural spec errors: missing or empty axes, a named
+// or colliding base, an unknown template placeholder, or an out-of-bounds
+// cap. Per-point config errors and duplicate names surface from Expand.
+func (s Spec) Validate() error {
+	g := s.Grid.withDefaults()
+	if _, err := g.axes(); err != nil {
+		return err
+	}
+	if g.Base.Name != "" {
+		return fmt.Errorf("grid: base must not set a name (point names come from the template)")
+	}
+	if err := g.baseCollisions(); err != nil {
+		return err
+	}
+	if err := validateTemplate(g.Name); err != nil {
+		return err
+	}
+	if g.MaxPoints < 0 || g.MaxPoints > HardMaxPoints {
+		return fmt.Errorf("grid: max_points %d out of range (0, %d]", g.MaxPoints, HardMaxPoints)
+	}
+	return nil
+}
+
+// templateFields are the placeholders the name template may use.
+var templateFields = map[string]func(c scenario.Config) string{
+	"l1_kb":    func(c scenario.Config) string { return strconv.Itoa(c.L1KB) },
+	"l2_kb":    func(c scenario.Config) string { return strconv.Itoa(c.L2KB) },
+	"workload": func(c scenario.Config) string { return c.Workload },
+	"scheme":   func(c scenario.Config) string { return strconv.Itoa(c.Scheme) },
+	"amat_budget_ps": func(c scenario.Config) string {
+		return strconv.FormatFloat(c.AMATBudgetPS, 'g', -1, 64)
+	},
+	"fast_memory": func(c scenario.Config) string {
+		if c.FastMemory {
+			return "fast"
+		}
+		return "slow"
+	},
+}
+
+// validateTemplate rejects unknown placeholders and unbalanced braces
+// before any expansion work happens.
+func validateTemplate(tmpl string) error {
+	rest := tmpl
+	for {
+		open := strings.IndexByte(rest, '{')
+		if open < 0 {
+			if strings.IndexByte(rest, '}') >= 0 {
+				return fmt.Errorf("grid: name template %q has an unmatched '}'", tmpl)
+			}
+			return nil
+		}
+		if strings.IndexByte(rest[:open], '}') >= 0 {
+			return fmt.Errorf("grid: name template %q has an unmatched '}'", tmpl)
+		}
+		close := strings.IndexByte(rest[open:], '}')
+		if close < 0 {
+			return fmt.Errorf("grid: name template %q has an unmatched '{'", tmpl)
+		}
+		field := rest[open+1 : open+close]
+		if _, ok := templateFields[field]; !ok {
+			return fmt.Errorf("grid: name template placeholder {%s} is not an axis field", field)
+		}
+		rest = rest[open+close+1:]
+	}
+}
+
+// renderName fills the template from one point's (defaulted) config.
+// Templates were validated at Load, so every placeholder resolves.
+func renderName(tmpl string, c scenario.Config) string {
+	var b strings.Builder
+	rest := tmpl
+	for {
+		open := strings.IndexByte(rest, '{')
+		if open < 0 {
+			b.WriteString(rest)
+			return b.String()
+		}
+		b.WriteString(rest[:open])
+		close := strings.IndexByte(rest[open:], '}')
+		b.WriteString(templateFields[rest[open+1:open+close]](c))
+		rest = rest[open+close+1:]
+	}
+}
+
+// pointCount resolves the (defaulted) grid's axes and total point count,
+// enforcing the cap before anything is materialized.
+func pointCount(g Grid) (int, []axis, error) {
+	axes, err := g.axes()
+	if err != nil {
+		return 0, nil, err
+	}
+	total := 1
+	for _, a := range axes {
+		total *= a.n
+		if total > g.MaxPoints {
+			return 0, nil, fmt.Errorf("grid: expands to more than %d points (raise max_points, hard cap %d)",
+				g.MaxPoints, HardMaxPoints)
+		}
+	}
+	return total, axes, nil
+}
+
+// expandRange materializes points [lo, hi) of the (defaulted) grid's
+// row-major expansion: named, defaulted, validated scenario configs.
+// Point i is a pure function of i, so a worker rebuilding one wire
+// range pays O(range), not O(grid).
+func expandRange(g Grid, axes []axis, lo, hi int) ([]scenario.Config, error) {
+	configs := make([]scenario.Config, hi-lo)
+	for i := lo; i < hi; i++ {
+		cfg := g.Base
+		// Row-major: the last axis varies fastest.
+		rem := i
+		for k := len(axes) - 1; k >= 0; k-- {
+			axes[k].set(&cfg, rem%axes[k].n)
+			rem /= axes[k].n
+		}
+		cfg = cfg.WithDefaults()
+		cfg.Name = renderName(g.Name, cfg)
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: point %d (%s): %w", i, cfg.Name, err)
+		}
+		configs[i-lo] = cfg
+	}
+	return configs, nil
+}

@@ -74,6 +74,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// WithDefaults returns the config with every optional field filled exactly
+// as Load and RunCtx fill it. Grid expansion (internal/grid) renders point
+// names and wire payloads from defaulted configs, so a worker rebuilding a
+// grid slice executes byte-for-byte the configs the coordinator named.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills optional fields.
 func (c Config) withDefaults() Config {
 	if c.Accesses == 0 {

@@ -384,6 +384,23 @@ func BenchmarkMapOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamOverhead measures the input-ordered streaming channel on
+// a free kernel — the per-item cost every streamed sweep and the unified
+// work driver pay on top of Map.
+func BenchmarkStreamOverhead(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		ch, wait := Stream(ctx, 64, StreamConfig{Workers: 4},
+			func(_ context.Context, i int) (int, error) { return i, nil })
+		for range ch {
+		}
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestRangeWireFormat pins Range's JSON form: it is part of the
 // distributed-sweep wire protocol (work units carry their shard range), so
 // the field names must not drift.

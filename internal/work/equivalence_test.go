@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -50,9 +51,24 @@ func fixtures(t *testing.T) map[string]work.Batch {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The grid fixture mirrors the scenario fixture's four points, but
+	// generated: the batch carries only axes, and every execution shape —
+	// including the wire-decoded distributed slices — re-expands them.
+	gs, err := grid.Load(strings.NewReader(`{"grid":{
+		"axes":{"l1_kb":[16,32],"l2_kb":[256,512]},
+		"base":{"workload":"tpcc","accesses":20000}
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := gs.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]work.Batch{
 		scenario.JournalKind: b,
 		exp.WorkKind:         eb,
+		grid.WorkKind:        gb,
 	}
 }
 

@@ -32,6 +32,13 @@ type Options struct {
 	// neither re-executed nor re-emitted: a resumed run's output is
 	// exactly the remainder, in input order.
 	Done map[int]json.RawMessage
+	// Observe, when non-nil, sees every line this run emits — after it is
+	// journaled, before it is written to the sink — keyed by input index.
+	// CLI-level reductions (the grid frontier) hook in here instead of
+	// re-parsing the sink's stream; lines replayed via Done are not
+	// observed (the caller already holds them). Run only; Collect returns
+	// its lines and ignores Observe.
+	Observe func(i int, line json.RawMessage)
 }
 
 // Run is the unified streaming driver: it executes every pending item of
@@ -86,6 +93,9 @@ func Run(ctx context.Context, b Batch, o Options, w io.Writer) error {
 			err = o.Journal.Record(idx, line)
 		}
 		if err == nil {
+			if o.Observe != nil {
+				o.Observe(idx, line)
+			}
 			_, err = w.Write(append(line, '\n'))
 		}
 		if err != nil {
