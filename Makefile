@@ -4,7 +4,13 @@ GO ?= go
 # top of the file.
 .DEFAULT_GOAL := ci
 
-.PHONY: help ci fmt tidy vet staticcheck build test race bench bench-compile cover golden
+.PHONY: help ci fmt tidy vet staticcheck build test race bench bench-compile bench-snapshot cover golden
+
+# The perf-snapshot file for the current PR and the packages it records.
+# Bump SNAPSHOT per PR (BENCH_7.json, ...) so the repo keeps the
+# trajectory instead of overwriting it.
+SNAPSHOT ?= BENCH_6.json
+SNAPSHOT_PKGS = ./internal/sweep ./internal/work ./internal/profile
 
 # help is self-maintaining: annotate a target with a trailing `## text`
 # and it appears here.
@@ -60,6 +66,14 @@ bench-compile: ## run every benchmark once as a compile-and-run check
 # bench is the real measurement run.
 bench: ## run the real benchmark measurements
 	$(GO) test -bench=. -benchmem .
+
+# bench-snapshot regenerates the committed perf snapshot: sec/op for the
+# hot packages, parsed into stable JSON by cmd/benchsnap. -benchtime=2x
+# keeps regeneration cheap while averaging out the worst first-iteration
+# noise; the snapshot records a trajectory, not a gate (the gate is CI's
+# bench-regression job).
+bench-snapshot: ## regenerate the committed perf snapshot ($(SNAPSHOT))
+	$(GO) test -bench . -benchtime=2x -run '^$$' $(SNAPSHOT_PKGS) | $(GO) run ./cmd/benchsnap -o $(SNAPSHOT)
 
 # cover mirrors the CI coverage job: per-package percentages on stdout,
 # the profile in cover.out, the total at the end.

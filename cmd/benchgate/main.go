@@ -88,6 +88,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // instead and never match.
 var deltaRE = regexp.MustCompile(`([+-]\d+(?:\.\d+)?)%\s+\(p=`)
 
+// isSummaryRow reports whether a row's leading token marks benchstat
+// decoration rather than a benchmark: the geomean summary, table
+// borders, or a footnote legend (benchstat numbers footnotes with
+// superscript digits). Summary rows must never count as regressions,
+// even in the adversarial case where one carries a p-value.
+func isSummaryRow(first string) bool {
+	if first == "geomean" || strings.HasPrefix(first, "│") {
+		return true
+	}
+	for _, marker := range []string{"¹", "²", "³", "⁴", "⁵", "⁶", "⁷", "⁸", "⁹"} {
+		if strings.HasPrefix(first, marker) {
+			return true
+		}
+	}
+	return false
+}
+
 // gate scans a benchstat table, returning how many significant sec/op
 // rows it saw and which of them regressed beyond threshold percent.
 func gate(r io.Reader, threshold float64) (compared int, regressions []regression, err error) {
@@ -111,7 +128,7 @@ func gate(r io.Reader, threshold float64) (compared int, regressions []regressio
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) == 0 || fields[0] == "geomean" || strings.HasPrefix(fields[0], "│") {
+		if len(fields) == 0 || isSummaryRow(fields[0]) {
 			continue
 		}
 		if !strings.Contains(line, "(p=") {

@@ -52,6 +52,72 @@ func TestGateFindsOnlySignificantSecOpRegressions(t *testing.T) {
 	}
 }
 
+// TestGateSkipsSummaryRows is the audit for geomean and summary rows:
+// table-driven over every decoration benchstat emits around benchmark
+// rows — geomean summaries (including the adversarial shape that
+// carries a p-value), table borders, footnote legends, and rows with
+// footnote markers. Decoration must neither count as compared nor as a
+// regression; real rows beside it must still gate.
+func TestGateSkipsSummaryRows(t *testing.T) {
+	cases := map[string]struct {
+		table       string
+		compared    int
+		regressions int
+		wantName    string
+	}{
+		"plain geomean summary": {
+			table: `pkg: repro/x
+               │   sec/op    │   sec/op     vs base              │
+Real-8           10.00µ ± 2%   15.00µ ± 3%  +50.00% (p=0.002 n=6)
+geomean           8.54µ         8.91µ        +4.33%
+`,
+			compared: 1, regressions: 1, wantName: "Real-8",
+		},
+		"adversarial geomean with p-value": {
+			table: `pkg: repro/x
+               │   sec/op    │   sec/op     vs base              │
+Real-8           10.00µ ± 2%   10.10µ ± 3%   +1.00% (p=0.040 n=6)
+geomean           8.54µ        10.91µ       +25.00% (p=0.001 n=6)
+`,
+			compared: 1, regressions: 0,
+		},
+		"footnote legend and marked rows": {
+			table: `pkg: repro/x
+               │   sec/op    │   sec/op     vs base              │
+Real-8           10.00µ ± 2%   15.00µ ± 3%  +50.00% (p=0.002 n=6) ¹
+¹ need ≥ 6 samples for confidence interval at level 0.95 (p=0.95)
+² all samples are equal
+`,
+			compared: 1, regressions: 1, wantName: "Real-8",
+		},
+		"border rows only": {
+			table: `pkg: repro/x
+               │   sec/op    │   sec/op     vs base              │
+               │  base.txt   │             head.txt              │
+geomean           8.54µ         8.91µ        +4.33%
+`,
+			compared: 0, regressions: 0,
+		},
+	}
+	for label, c := range cases {
+		t.Run(label, func(t *testing.T) {
+			compared, regs, err := gate(strings.NewReader(c.table), 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if compared != c.compared {
+				t.Errorf("compared %d rows, want %d", compared, c.compared)
+			}
+			if len(regs) != c.regressions {
+				t.Fatalf("regressions = %+v, want %d", regs, c.regressions)
+			}
+			if c.wantName != "" && regs[0].name != c.wantName {
+				t.Errorf("regression name = %q, want %q", regs[0].name, c.wantName)
+			}
+		})
+	}
+}
+
 func TestGateThresholdBoundary(t *testing.T) {
 	// +29.66% passes a 30% threshold: the gate is strictly greater-than.
 	_, regs, err := gate(strings.NewReader(fixture), 29.66)

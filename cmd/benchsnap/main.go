@@ -1,0 +1,164 @@
+// Command benchsnap turns `go test -bench` output into a committed
+// perf snapshot: a stable JSON document recording sec/op per benchmark
+// per package, so the repository carries a performance trajectory
+// (BENCH_<pr>.json per PR) instead of only the CI gate's pass/fail
+// verdict. The snapshot is diffable — packages and benchmarks are
+// sorted — and records the machine context (goos/goarch/cpu) the
+// numbers were taken on.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=1x -run '^$' ./internal/... | benchsnap -o BENCH_6.json
+//	benchsnap bench-output.txt
+//
+// With no -o the snapshot is written to stdout. `make bench-snapshot`
+// wires the standard package list to the current snapshot file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// snapshot is the document layout. Benchmarks are grouped per package
+// and sorted by name so regeneration on the same numbers is a no-op
+// diff.
+type snapshot struct {
+	GOOS     string        `json:"goos,omitempty"`
+	GOARCH   string        `json:"goarch,omitempty"`
+	CPU      string        `json:"cpu,omitempty"`
+	Packages []packageSnap `json:"packages"`
+}
+
+type packageSnap struct {
+	Pkg        string      `json:"pkg"`
+	Benchmarks []benchSnap `json:"benchmarks"`
+}
+
+type benchSnap struct {
+	Name     string  `json:"name"`
+	SecPerOp float64 `json:"sec_per_op"`
+}
+
+// run is the testable entry point.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the snapshot to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	r := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchsnap:", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	default:
+		fmt.Fprintln(stderr, "benchsnap: at most one input file")
+		return 2
+	}
+
+	snap, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+	if len(snap.Packages) == 0 {
+		fmt.Fprintln(stderr, "benchsnap: no benchmark result lines in input")
+		return 1
+	}
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(doc)
+	} else {
+		err = os.WriteFile(*out, doc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+	return 0
+}
+
+// benchRE matches a benchmark result line: the Benchmark name (with the
+// -GOMAXPROCS suffix), the iteration count, and the ns/op cell. Extra
+// -benchmem cells after ns/op are ignored.
+var benchRE = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// parse scans `go test -bench` output. Result lines are attributed to
+// the package named by the most recent "pkg:" header; goos/goarch/cpu
+// headers are recorded once (go test repeats them per package on
+// multi-package runs — they do not change within one run).
+func parse(r io.Reader) (*snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	snap := &snapshot{}
+	byPkg := map[string][]benchSnap{}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		m := benchRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if pkg == "" {
+			return nil, fmt.Errorf("benchmark line before any pkg: header: %q", line)
+		}
+		nsPerOp, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
+		}
+		byPkg[pkg] = append(byPkg[pkg], benchSnap{Name: m[1], SecPerOp: nsPerOp * 1e-9})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		bs := byPkg[p]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].Name < bs[j].Name })
+		snap.Packages = append(snap.Packages, packageSnap{Pkg: p, Benchmarks: bs})
+	}
+	return snap, nil
+}

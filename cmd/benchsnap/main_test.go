@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture mimics `go test -bench` output over two packages, including
+// sub-benchmarks with slash-separated names, a -benchmem line with
+// extra cells, fractional ns/op, and the PASS/ok trailer lines.
+const fixture = `goos: linux
+goarch: amd64
+pkg: repro/internal/profile
+cpu: Intel(R) Xeon(R)
+BenchmarkAnalyticalVsTraceDriven/per-point/trace-driven-8         	       1	3205000000 ns/op
+BenchmarkAnalyticalVsTraceDriven/per-point/analytical-8           	      13	  84000000 ns/op
+BenchmarkProfileBuild-8                                           	      28	  40123456 ns/op	 1024 B/op	       3 allocs/op
+PASS
+ok  	repro/internal/profile	12.3s
+goos: linux
+goarch: amd64
+pkg: repro/internal/sweep
+cpu: Intel(R) Xeon(R)
+BenchmarkMapOverhead-8   	  123456	      9876.5 ns/op
+PASS
+ok  	repro/internal/sweep	1.2s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("machine context = %q/%q/%q", snap.GOOS, snap.GOARCH, snap.CPU)
+	}
+	if len(snap.Packages) != 2 {
+		t.Fatalf("parsed %d packages, want 2", len(snap.Packages))
+	}
+	// Packages sort lexically: profile before sweep.
+	prof, swp := snap.Packages[0], snap.Packages[1]
+	if prof.Pkg != "repro/internal/profile" || swp.Pkg != "repro/internal/sweep" {
+		t.Fatalf("package order = %q, %q", prof.Pkg, swp.Pkg)
+	}
+	if len(prof.Benchmarks) != 3 {
+		t.Fatalf("profile has %d benchmarks, want 3", len(prof.Benchmarks))
+	}
+	// Benchmarks sort by name; sec/op is ns/op scaled by 1e-9.
+	want := []struct {
+		name string
+		sec  float64
+	}{
+		{"BenchmarkAnalyticalVsTraceDriven/per-point/analytical-8", 0.084},
+		{"BenchmarkAnalyticalVsTraceDriven/per-point/trace-driven-8", 3.205},
+		{"BenchmarkProfileBuild-8", 0.040123456},
+	}
+	for i, w := range want {
+		b := prof.Benchmarks[i]
+		if b.Name != w.name || b.SecPerOp != w.sec {
+			t.Errorf("benchmark %d = %q %v, want %q %v", i, b.Name, b.SecPerOp, w.name, w.sec)
+		}
+	}
+	// float64(...) forces float64 multiplication semantics; the untyped
+	// constant 9876.5e-9 rounds differently than the runtime product.
+	if got, want := swp.Benchmarks[0].SecPerOp, float64(9876.5)*float64(1e-9); got != want {
+		t.Errorf("fractional ns/op = %v, want %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkOrphan-8 1 5 ns/op\n")); err == nil {
+		t.Error("benchmark line before pkg: header accepted")
+	}
+}
+
+func TestRunWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", path}, strings.NewReader(fixture), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Packages) != 2 {
+		t.Errorf("round-tripped %d packages, want 2", len(snap.Packages))
+	}
+
+	// No benchmark lines at all is an error — a snapshot of nothing
+	// means the bench run itself failed upstream.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(nil, strings.NewReader("goos: linux\nPASS\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("empty input: exit %d, want 1", code)
+	}
+}

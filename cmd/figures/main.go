@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/exp"
+	"repro/internal/profile"
 	"repro/internal/work"
 )
 
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		quick      = fs.Bool("quick", false, "use shorter workload simulations")
 		accesses   = fs.Int("accesses", 0, "override the trace length per (workload, L1 size) simulation (0 = profile default)")
+		fidelity   = fs.String("fidelity", "", `miss-matrix fidelity: "trace" (simulate, the default) or "analytical" (stack-distance fast path)`)
 		outdir     = fs.String("outdir", "", "directory for CSV output (created if missing)")
 		plot       = fs.Bool("plot", false, "render coarse ASCII plots for figures")
 		only       = fs.String("only", "", "run only the artifacts with these comma-separated IDs")
@@ -76,6 +78,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	switch {
+	case !profile.ValidFidelity(*fidelity):
+		fmt.Fprintf(stderr, "figures: unknown -fidelity %q (want %q or %q)\n",
+			*fidelity, profile.FidelityTrace, profile.FidelityAnalytical)
+		return 2
 	case *resume && *checkpoint == "":
 		fmt.Fprintln(stderr, "figures: -resume requires -checkpoint")
 		return 2
@@ -137,6 +143,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *accesses > 0 {
 		env.Accesses = *accesses
 	}
+	env.Fidelity = *fidelity
 	env.Workers = *workers
 	var tickerW io.Writer
 	if *progress {

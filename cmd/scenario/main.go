@@ -62,6 +62,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/grid"
+	"repro/internal/profile"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -81,6 +82,7 @@ type options struct {
 	checkpoint string
 	resume     bool
 	frontier   bool
+	fidelity   string
 	timeout    time.Duration
 }
 
@@ -92,6 +94,7 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed scenarios to this file (batch mode with -stream)")
 	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and run only unfinished scenarios")
 	fs.BoolVar(&o.frontier, "frontier", false, "append the leakage-vs-AMAT Pareto front summary (grid input only)")
+	fs.StringVar(&o.fidelity, "fidelity", "", `default miss-rate fidelity for configs that do not set one: "trace" (simulate) or "analytical" (stack-distance fast path)`)
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
 }
 
@@ -130,6 +133,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	prog := cli.NewProgress("scenario", "scenarios", tickerW)
 
+	if !profile.ValidFidelity(o.fidelity) {
+		fmt.Fprintf(stderr, "scenario: unknown -fidelity %q (want %q or %q)\n",
+			o.fidelity, profile.FidelityTrace, profile.FidelityAnalytical)
+		return 2
+	}
 	if o.resume && o.checkpoint == "" {
 		fmt.Fprintln(stderr, "scenario: -resume requires -checkpoint")
 		return 2
@@ -144,6 +152,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
+		}
+		if o.fidelity != "" {
+			if spec.Grid.Axes.Fidelity != nil {
+				fmt.Fprintln(stderr, "scenario: the grid declares a fidelity axis; drop -fidelity")
+				return 2
+			}
+			if spec.Grid.Base.Fidelity == "" {
+				spec.Grid.Base.Fidelity = o.fidelity
+			}
 		}
 		b, err := spec.Expand()
 		if err != nil {
@@ -168,6 +185,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
+		if o.fidelity != "" {
+			for i := range b.Scenarios {
+				if b.Scenarios[i].Fidelity == "" {
+					b.Scenarios[i].Fidelity = o.fidelity
+				}
+			}
+		}
 		return runWorkBatch(ctx, b, o, nil, prog, stdout, stderr)
 	}
 
@@ -180,6 +204,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if err != nil {
 		fmt.Fprintln(stderr, "scenario:", err)
 		return 1
+	}
+	if cfg.Fidelity == "" {
+		cfg.Fidelity = o.fidelity
 	}
 	res, err := scenario.RunCtx(ctx, cfg)
 	if err != nil {

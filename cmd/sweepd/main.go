@@ -16,11 +16,12 @@
 // same {"id","ascii","csv"} frames as `figures -stream`.
 //
 // For experiment units the lease response declares the coordinator's
-// environment scale (accesses/seed/MinR2 — the scale the batch hash
-// pins); `sweepd work` verifies it against its own -quick/-accesses
-// configuration and hard-fails on mismatch, so a misconfigured worker
-// exits with a diagnostic instead of silently blending two simulation
-// scales into one result set.
+// environment scale (accesses/seed/MinR2/fidelity — the scale the batch
+// hash pins); `sweepd work` verifies it against its own
+// -quick/-accesses/-fidelity configuration and hard-fails on mismatch,
+// so a misconfigured worker exits with a diagnostic instead of silently
+// blending two simulation scales (or miss-matrix fidelities) into one
+// result set.
 //
 // The coordinator is crash-tolerant on both sides: a worker that dies
 // mid-unit loses only its lease (the unit is re-leased when the lease
@@ -68,6 +69,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/grid"
+	"repro/internal/profile"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -97,6 +99,7 @@ type inputOptions struct {
 	ids         string
 	quick       bool
 	accesses    int
+	fidelity    string
 }
 
 // registerInputFlags wires the workload-selection flags.
@@ -107,6 +110,7 @@ func registerInputFlags(fs *flag.FlagSet, o *inputOptions) {
 	fs.StringVar(&o.ids, "ids", "", "comma-separated experiment IDs with -experiments (default: the whole registry)")
 	fs.BoolVar(&o.quick, "quick", false, "pin the experiments batch to the quick environment scale (match the fleet and any figures checkpoint)")
 	fs.IntVar(&o.accesses, "accesses", 0, "pin the experiments batch to this trace length (0 = profile default)")
+	fs.StringVar(&o.fidelity, "fidelity", "", `pin the experiments batch to this miss-matrix fidelity: "trace" (default) or "analytical"`)
 }
 
 // experimentsEnv resolves the environment scale the input flags declare —
@@ -120,6 +124,7 @@ func experimentsEnv(o inputOptions) *exp.Env {
 	if o.accesses > 0 {
 		env.Accesses = o.accesses
 	}
+	env.Fidelity = o.fidelity
 	return env
 }
 
@@ -183,11 +188,15 @@ func loadWorkBatch(o inputOptions, stdin io.Reader) (work.Batch, string, error) 
 // hash) a different workload than they asked for.
 func validateInput(o inputOptions, stderr io.Writer) bool {
 	switch {
+	case !profile.ValidFidelity(o.fidelity):
+		fmt.Fprintf(stderr, "sweepd: unknown -fidelity %q (want %q or %q)\n",
+			o.fidelity, profile.FidelityTrace, profile.FidelityAnalytical)
+		return false
 	case o.ids != "" && !o.experiments:
 		fmt.Fprintln(stderr, "sweepd: -ids requires -experiments")
 		return false
-	case (o.quick || o.accesses > 0) && !o.experiments:
-		fmt.Fprintln(stderr, "sweepd: -quick/-accesses require -experiments (scenario batches and grids carry their own accesses)")
+	case (o.quick || o.accesses > 0 || o.fidelity != "") && !o.experiments:
+		fmt.Fprintln(stderr, "sweepd: -quick/-accesses/-fidelity require -experiments (scenario batches and grids carry their own accesses and fidelity)")
 		return false
 	case o.file != "" && o.experiments:
 		fmt.Fprintln(stderr, "sweepd: -f does not apply to -experiments (use -ids to select artifacts)")
@@ -321,6 +330,7 @@ type workOptions struct {
 	token       string
 	quick       bool
 	accesses    int
+	fidelity    string
 	progress    bool
 	timeout     time.Duration
 }
@@ -336,6 +346,7 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 	fs.StringVar(&o.token, "token", "", "shared secret sent as Authorization: Bearer (match the coordinator's -token)")
 	fs.BoolVar(&o.quick, "quick", false, "execute experiment units against the quick environment (the whole fleet must agree)")
 	fs.IntVar(&o.accesses, "accesses", 0, "execute experiment units at this trace length (0 = profile default; the whole fleet must agree)")
+	fs.StringVar(&o.fidelity, "fidelity", "", `execute experiment units at this miss-matrix fidelity: "trace" (default) or "analytical" (the whole fleet must agree)`)
 	fs.BoolVar(&o.progress, "progress", false, "report per-unit completion on stderr")
 	fs.DurationVar(&o.timeout, "timeout", 0, "stop working after this duration (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
@@ -345,6 +356,11 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 		fmt.Fprintln(stderr, "sweepd: work requires -coordinator")
 		return 2
 	}
+	if !profile.ValidFidelity(o.fidelity) {
+		fmt.Fprintf(stderr, "sweepd: unknown -fidelity %q (want %q or %q)\n",
+			o.fidelity, profile.FidelityTrace, profile.FidelityAnalytical)
+		return 2
+	}
 	if o.id == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -352,8 +368,8 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 		}
 		o.id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	if o.quick || o.accesses > 0 {
-		scale := inputOptions{quick: o.quick, accesses: o.accesses}
+	if o.quick || o.accesses > 0 || o.fidelity != "" {
+		scale := inputOptions{quick: o.quick, accesses: o.accesses, fidelity: o.fidelity}
 		exp.SetProcessEnv(func() *exp.Env { return experimentsEnv(scale) })
 	}
 	ctx, cancel := cli.WithTimeout(ctx, o.timeout)

@@ -21,6 +21,15 @@
 //	    -checkpoint grid.journal -resume > grid.ndjson
 //	sweepd work -coordinator http://host:8080   # per core/machine
 //	sweepd journal -grid examples/gridsweep/spec.json -checkpoint grid.journal
+//
+// spec-analytical.json is the same study at analytical fidelity: its
+// base sets "fidelity": "analytical", so every point's miss rates come
+// from the stack-distance fast path (internal/profile) — one profiling
+// pass per workload instead of one simulation per point — and it sweeps
+// the AMAT budget axis from a tight 1900 ps up to an effectively
+// unconstrained 1200000 ps:
+//
+//	go run ./cmd/scenario -f examples/gridsweep/spec-analytical.json -stream -frontier
 package main
 
 import (

@@ -21,6 +21,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -39,6 +40,16 @@ type Env struct {
 	Seed int64
 	// MinR2 gates model fits (0 accepts any fit).
 	MinR2 float64
+	// Fidelity selects the miss-matrix builder: "" or
+	// profile.FidelityTrace runs the trace-driven simulator (the golden
+	// reference); profile.FidelityAnalytical uses the stack-distance
+	// fast path, trading profile.Tolerance of miss-rate accuracy for an
+	// order-of-magnitude cheaper build. Like Accesses and Seed it is
+	// part of the environment's identity: distributed runs carry it in
+	// the Scale descriptor and refuse mixed-fidelity fleets. Set it
+	// before the first matrix is built; the memoized matrices do not
+	// rebuild on later changes.
+	Fidelity string
 	// Workers bounds the top-level experiment fan-out of All: 0 uses
 	// GOMAXPROCS, 1 runs the experiments one at a time. Sweeps inside an
 	// experiment (simulation, grid scans) still size themselves from
@@ -114,7 +125,11 @@ func (e *Env) SuiteMatrices() ([]*sim.MissMatrix, error) {
 // rebuilds.
 func (e *Env) SuiteMatricesCtx(ctx context.Context) ([]*sim.MissMatrix, error) {
 	return e.matrices.Do(struct{}{}, func() ([]*sim.MissMatrix, error) {
-		return sim.BuildSuiteMatricesCtx(ctx, trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
+		build := sim.BuildSuiteMatricesCtx
+		if e.Fidelity == profile.FidelityAnalytical {
+			build = profile.BuildSuiteMatricesCtx
+		}
+		return build(ctx, trace.Suites(e.Seed), cachecfg.L1Sizes(), cachecfg.L2Sizes(), e.Accesses)
 	})
 }
 

@@ -98,16 +98,24 @@ type Scale struct {
 	Accesses int     `json:"accesses"`
 	Seed     int64   `json:"seed"`
 	MinR2    float64 `json:"min_r2"`
+	// Fidelity is the miss-matrix builder choice ("" = trace-driven;
+	// omitted from the wire form when empty so pre-fidelity journals
+	// keep their hashes).
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // ScaleOf extracts the environment scale of an Env.
 func ScaleOf(e *Env) Scale {
-	return Scale{Accesses: e.Accesses, Seed: e.Seed, MinR2: e.MinR2}
+	return Scale{Accesses: e.Accesses, Seed: e.Seed, MinR2: e.MinR2, Fidelity: e.Fidelity}
 }
 
 // String renders the scale for diagnostics.
 func (s Scale) String() string {
-	return fmt.Sprintf("accesses=%d seed=%d min_r2=%g", s.Accesses, s.Seed, s.MinR2)
+	out := fmt.Sprintf("accesses=%d seed=%d min_r2=%g", s.Accesses, s.Seed, s.MinR2)
+	if s.Fidelity != "" {
+		out += " fidelity=" + s.Fidelity
+	}
+	return out
 }
 
 // hashPayload is what the content hash covers: the artifact selection
@@ -162,7 +170,7 @@ func VerifyScale(kind string, env json.RawMessage) error {
 		return fmt.Errorf("exp: lease environment: %w", err)
 	}
 	if got := ScaleOf(processEnv()); got != want {
-		return fmt.Errorf("exp: environment scale mismatch: coordinator declares %v, this worker runs %v (align -quick/-accesses across the fleet)", want, got)
+		return fmt.Errorf("exp: environment scale mismatch: coordinator declares %v, this worker runs %v (align -quick/-accesses/-fidelity across the fleet)", want, got)
 	}
 	return nil
 }

@@ -12,57 +12,69 @@ import (
 
 var update = flag.Bool("update", false, "regenerate golden files")
 
-const fixturePath = "../../examples/gridsweep/spec.json"
-const goldenPath = "testdata/expand.golden.json"
+// goldenFixtures pairs each example grid spec with its golden expansion.
+// The analytical variant additionally pins the fidelity axis plumbing
+// and the fixed-point rendering of large float budgets in point names.
+var goldenFixtures = []struct {
+	fixture string
+	golden  string
+}{
+	{"../../examples/gridsweep/spec.json", "testdata/expand.golden.json"},
+	{"../../examples/gridsweep/spec-analytical.json", "testdata/expand-analytical.golden.json"},
+}
 
-// TestExpandGolden expands the example grid spec and compares the
-// materialized scenario batch — point order, names, defaulted fields —
-// against the checked-in golden file. Expansion is pure (no simulation),
-// so this pins the full deterministic-expansion contract: row-major
-// order, canonical axis order, name templating, and defaulting.
-// Regenerate with:
+// TestExpandGolden expands the example grid specs and compares the
+// materialized scenario batches — point order, names, defaulted fields —
+// against the checked-in golden files. Expansion is pure (no
+// simulation), so this pins the full deterministic-expansion contract:
+// row-major order, canonical axis order, name templating, and
+// defaulting. Regenerate with:
 //
 //	go test ./internal/grid -run TestExpandGolden -update
 func TestExpandGolden(t *testing.T) {
-	f, err := os.Open(fixturePath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	s, err := Load(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := s.Expand()
-	if err != nil {
-		t.Fatal(err)
-	}
-	doc := struct {
-		Scenarios []scenario.Config `json:"scenarios"`
-	}{Scenarios: b.Configs()}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := string(out) + "\n"
+	for _, gf := range goldenFixtures {
+		t.Run(filepath.Base(gf.fixture), func(t *testing.T) {
+			f, err := os.Open(gf.fixture)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s, err := Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc := struct {
+				Scenarios []scenario.Config `json:"scenarios"`
+			}{Scenarios: b.Configs()}
+			out, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := string(out) + "\n"
 
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("regenerated %s", goldenPath)
-		return
-	}
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(gf.golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(gf.golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated %s", gf.golden)
+				return
+			}
 
-	want, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if got != string(want) {
-		t.Errorf("grid expansion drifted from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
-			goldenPath, got, want)
+			want, err := os.ReadFile(gf.golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("grid expansion drifted from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+					gf.golden, got, want)
+			}
+		})
 	}
 }

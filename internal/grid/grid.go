@@ -24,13 +24,14 @@
 //	  }
 //	}
 //
-// Axes may cover l1_kb, l2_kb, workload, scheme, amat_budget_ps, and
-// fast_memory. Every other scenario field (and any axed field the spec
-// omits) comes from "base", an ordinary scenario config without a name.
+// Axes may cover l1_kb, l2_kb, workload, scheme, amat_budget_ps,
+// fast_memory, and fidelity. Every other scenario field (and any axed
+// field the spec omits) comes from "base", an ordinary scenario config
+// without a name.
 // Expansion is row-major over the canonical axis order — l1_kb, l2_kb,
-// workload, scheme, amat_budget_ps, fast_memory, later axes varying
-// faster; the declaration order of the JSON keys is irrelevant — so
-// point order is a pure function of the spec.
+// workload, scheme, amat_budget_ps, fast_memory, fidelity, later axes
+// varying faster; the declaration order of the JSON keys is irrelevant —
+// so point order is a pure function of the spec.
 // Each point's name renders from the "name" template (placeholders are
 // the axis field names in braces; fast_memory renders as "fast"/"slow");
 // expanded names must be unique, which forces the template to mention
@@ -46,13 +47,14 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/profile"
 	"repro/internal/scenario"
 )
 
 // DefaultNameTemplate names points when the spec does not: it mentions
 // the four axes the paper's study varies. Grids that vary
-// amat_budget_ps or fast_memory must extend the template, or expansion
-// fails on duplicate names.
+// amat_budget_ps, fast_memory, or fidelity must extend the template, or
+// expansion fails on duplicate names.
 const DefaultNameTemplate = "g-l1{l1_kb}-l2{l2_kb}-{workload}-s{scheme}"
 
 // DefaultMaxPoints is the expansion cap when the spec does not raise it:
@@ -100,6 +102,7 @@ type Axes struct {
 	Scheme       []int     `json:"scheme,omitempty"`
 	AMATBudgetPS []float64 `json:"amat_budget_ps,omitempty"`
 	FastMemory   []bool    `json:"fast_memory,omitempty"`
+	Fidelity     []string  `json:"fidelity,omitempty"`
 }
 
 // Load parses a grid spec, rejecting unknown fields so typos fail loud.
@@ -168,6 +171,8 @@ func (g Grid) axes() ([]axis, error) {
 			func(c *scenario.Config, k int) { c.AMATBudgetPS = g.Axes.AMATBudgetPS[k] }},
 		{"fast_memory", len(g.Axes.FastMemory), g.Axes.FastMemory == nil,
 			func(c *scenario.Config, k int) { c.FastMemory = g.Axes.FastMemory[k] }},
+		{"fidelity", len(g.Axes.Fidelity), g.Axes.Fidelity == nil,
+			func(c *scenario.Config, k int) { c.Fidelity = g.Axes.Fidelity[k] }},
 	}
 	var out []axis
 	for _, a := range all {
@@ -196,6 +201,7 @@ func (g Grid) baseCollisions() error {
 		"workload":       g.Base.Workload != "",
 		"scheme":         g.Base.Scheme != 0,
 		"amat_budget_ps": g.Base.AMATBudgetPS != 0,
+		"fidelity":       g.Base.Fidelity != "",
 	}
 	axes, err := g.axes()
 	if err != nil {
@@ -239,13 +245,23 @@ var templateFields = map[string]func(c scenario.Config) string{
 	"workload": func(c scenario.Config) string { return c.Workload },
 	"scheme":   func(c scenario.Config) string { return strconv.Itoa(c.Scheme) },
 	"amat_budget_ps": func(c scenario.Config) string {
-		return strconv.FormatFloat(c.AMATBudgetPS, 'g', -1, 64)
+		// Fixed-point with trailing-zero trim ('f' with -1 precision): the
+		// 'g' verb previously switched to scientific notation for large
+		// budgets, putting "1.2e+06" — with a '+' — into point names and
+		// rendering distinct values ambiguously.
+		return strconv.FormatFloat(c.AMATBudgetPS, 'f', -1, 64)
 	},
 	"fast_memory": func(c scenario.Config) string {
 		if c.FastMemory {
 			return "fast"
 		}
 		return "slow"
+	},
+	"fidelity": func(c scenario.Config) string {
+		if c.Fidelity == "" {
+			return profile.FidelityTrace
+		}
+		return c.Fidelity
 	},
 }
 

@@ -171,6 +171,108 @@ func TestDuplicateNamesResolvedByTemplate(t *testing.T) {
 	}
 }
 
+// TestFloatBudgetNamesFixedPoint is the regression test for the
+// float-rendering bug: amat_budget_ps values large enough to trip
+// strconv's 'g' format into scientific notation (1200000 → "1.2e+06")
+// must render fixed-point in point names, and fractional budgets must
+// keep their digits without growing trailing zeros.
+func TestFloatBudgetNamesFixedPoint(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"grid":{
+		"name":"g-b{amat_budget_ps}",
+		"axes":{"amat_budget_ps":[1812.5, 1900, 1200000]},
+		"base":{"l1_kb":16,"l2_kb":256,"workload":"tpcc"}
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"g-b1812.5", "g-b1900", "g-b1200000"}
+	for i, c := range b.Configs() {
+		if c.Name != want[i] {
+			t.Errorf("point %d named %q, want %q", i, c.Name, want[i])
+		}
+		if strings.ContainsAny(c.Name, "eE+") {
+			t.Errorf("point %d name %q rendered in scientific notation", i, c.Name)
+		}
+	}
+}
+
+// TestFidelityAxis pins the fidelity axis: it varies fastest (it is
+// last in canonical order), the {fidelity} placeholder renders, and
+// each point carries the axis value.
+func TestFidelityAxis(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"grid":{
+		"name":"g-l1{l1_kb}-{fidelity}",
+		"axes":{"l1_kb":[16,32],"fidelity":["trace","analytical"]},
+		"base":{"l2_kb":256,"workload":"tpcc"}
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ name, fidelity string }{
+		{"g-l116-trace", "trace"},
+		{"g-l116-analytical", "analytical"},
+		{"g-l132-trace", "trace"},
+		{"g-l132-analytical", "analytical"},
+	}
+	for i, c := range b.Configs() {
+		if c.Name != want[i].name || c.Fidelity != want[i].fidelity {
+			t.Errorf("point %d = (%q, fidelity %q), want (%q, %q)",
+				i, c.Name, c.Fidelity, want[i].name, want[i].fidelity)
+		}
+	}
+}
+
+// TestFidelityPlaceholderDefaultsToTrace checks that a base without an
+// explicit fidelity renders the placeholder as "trace" — names stay
+// meaningful for configs relying on the implicit default.
+func TestFidelityPlaceholderDefaultsToTrace(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"grid":{
+		"name":"g-l1{l1_kb}-{fidelity}",
+		"axes":{"l1_kb":[16]},
+		"base":{"l2_kb":256,"workload":"tpcc"}
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := b.Configs()[0].Name; name != "g-l116-trace" {
+		t.Errorf("point named %q, want g-l116-trace", name)
+	}
+}
+
+// TestFidelityAxisErrors pins the load/expand diagnostics specific to
+// the fidelity axis: base/axis collision and invalid values.
+func TestFidelityAxisErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"grid":{
+		"axes":{"l1_kb":[16],"fidelity":["trace","analytical"]},
+		"base":{"l2_kb":256,"workload":"tpcc","fidelity":"trace"}
+	}}`)); err == nil || !strings.Contains(err.Error(), "base sets fidelity") {
+		t.Errorf("colliding fidelity base err = %v, want it to mention base sets fidelity", err)
+	}
+	s, err := Load(strings.NewReader(`{"grid":{
+		"name":"g-l1{l1_kb}-{fidelity}",
+		"axes":{"l1_kb":[16],"fidelity":["analytical","clairvoyant"]},
+		"base":{"l2_kb":256,"workload":"tpcc"}
+	}}`))
+	if err != nil {
+		t.Fatalf("load rejected spec with bad fidelity value, want an expansion error: %v", err)
+	}
+	if _, err := s.Expand(); err == nil || !strings.Contains(err.Error(), "fidelity") {
+		t.Errorf("invalid fidelity value expand err = %v, want it to mention fidelity", err)
+	}
+}
+
 // TestIsSpec pins the document probe.
 func TestIsSpec(t *testing.T) {
 	if !IsSpec([]byte(`{"grid":{}}`)) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/mem"
 	"repro/internal/opt"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -48,6 +49,15 @@ type Config struct {
 	TupleBudgets [][2]int `json:"tuple_budgets,omitempty"`
 	// FastMemory selects the low-latency DRAM spec.
 	FastMemory bool `json:"fast_memory,omitempty"`
+	// Fidelity selects the miss-rate path: "trace" (or empty, the
+	// default) runs the trace-driven simulator; "analytical" uses the
+	// stack-distance fast path of internal/profile, which agrees with
+	// the simulator within profile.Tolerance and turns per-point
+	// simulation cost into a one-off per-workload profiling pass. The
+	// field is deliberately not defaulted to "trace" by withDefaults so
+	// pre-fidelity batches keep their content hashes; a set value flows
+	// into the hash and pins journals and fleets to one fidelity.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Validate reports schema errors.
@@ -70,6 +80,10 @@ func (c Config) Validate() error {
 		if b[0] < 1 || b[1] < 1 {
 			return fmt.Errorf("scenario: tuple budget %v must be at least 1+1", b)
 		}
+	}
+	if !profile.ValidFidelity(c.Fidelity) {
+		return fmt.Errorf("scenario: unknown fidelity %q (want %q or %q)",
+			c.Fidelity, profile.FidelityTrace, profile.FidelityAnalytical)
 	}
 	return nil
 }
@@ -226,7 +240,12 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// missRates simulates the configured workload (or the suite average).
+// missRates computes the configured workload's (or the suite average's)
+// miss rates at the requested fidelity: trace-driven simulation by
+// default, or the stack-distance fast path when the config opts into
+// analytical fidelity. Under the fast path the per-workload profile is
+// memoized process-wide, so a grid of design points pays one profiling
+// pass per workload instead of one simulation per point.
 func missRates(ctx context.Context, cfg Config, l1Size, l2Size int) (float64, float64, error) {
 	var suites []trace.Params
 	if cfg.Workload == "average" {
@@ -241,7 +260,11 @@ func missRates(ctx context.Context, cfg Config, l1Size, l2Size int) (float64, fl
 	if len(suites) == 0 {
 		return 0, 0, fmt.Errorf("scenario: workload %q not found", cfg.Workload)
 	}
-	ms, err := sim.BuildSuiteMatricesCtx(ctx, suites, []int{l1Size}, []int{l2Size}, cfg.Accesses)
+	build := sim.BuildSuiteMatricesCtx
+	if cfg.Fidelity == profile.FidelityAnalytical {
+		build = profile.BuildSuiteMatricesCtx
+	}
+	ms, err := build(ctx, suites, []int{l1Size}, []int{l2Size}, cfg.Accesses)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -130,6 +130,63 @@ func TestAllKindsEquivalentAcrossExecutionShapes(t *testing.T) {
 	}
 }
 
+// TestAnalyticalGridEquivalentAcrossExecutionShapes runs a grid pinned
+// to the analytical miss-matrix fidelity through all five execution
+// shapes. Fidelity travels inside the expanded configs (grid base), so
+// the wire-decoded distributed slices re-expand to analytical points
+// too; the shared profile memo behind the fast path must therefore be
+// deterministic under concurrency for this to hold byte-for-byte.
+func TestAnalyticalGridEquivalentAcrossExecutionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a grid through five execution shapes")
+	}
+	gs, err := grid.Load(strings.NewReader(`{"grid":{
+		"name":"a-l1{l1_kb}-l2{l2_kb}-{fidelity}",
+		"axes":{"l1_kb":[16,32],"l2_kb":[256,512]},
+		"base":{"workload":"tpcc","accesses":20000,"fidelity":"analytical"}
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gs.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seq bytes.Buffer
+	if err := work.Run(t.Context(), b, work.Options{Workers: 1}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(seq.String(), "\n"); n != b.Len() {
+		t.Fatalf("sequential run emitted %d lines for %d items", n, b.Len())
+	}
+	t.Run("parallel-streamed", func(t *testing.T) {
+		var par bytes.Buffer
+		if err := work.Run(t.Context(), b, work.Options{Workers: 4}, &par); err != nil {
+			t.Fatal(err)
+		}
+		diffBytes(t, par.Bytes(), seq.Bytes())
+	})
+	t.Run("collected", func(t *testing.T) {
+		lines, err := work.Collect(t.Context(), b, work.Options{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, l := range lines {
+			buf.Write(l)
+			buf.WriteByte('\n')
+		}
+		diffBytes(t, buf.Bytes(), seq.Bytes())
+	})
+	t.Run("checkpointed-resumed", func(t *testing.T) {
+		diffBytes(t, checkpointResumed(t, b), seq.Bytes())
+	})
+	t.Run("distributed", func(t *testing.T) {
+		diffBytes(t, distributed(t, b), seq.Bytes())
+	})
+}
+
 // diffBytes fails with a readable diff when got differs from want.
 func diffBytes(t *testing.T, got, want []byte) {
 	t.Helper()
