@@ -16,6 +16,16 @@
 // NDJSON line in -stream mode, as a "frontier" field of the buffered
 // document otherwise.
 //
+// With -frontier-refine (grid input, -stream only), the run is the
+// multi-fidelity ladder instead: the full grid runs at analytical
+// fidelity, the Pareto shortlist (front plus a slack band sized to the
+// analytical error) re-runs at trace fidelity, and the final summary's
+// frontier carries trace-fidelity coordinates — the cost of a cheap pass
+// over everything plus exact evaluation of only the contenders. The
+// stream is both phases' lines in order, then the summary. With
+// -checkpoint PATH, the analytical pass journals to PATH and the
+// shortlist to PATH.refine.
+//
 // With -checkpoint (batch + -stream only), every completed line is also
 // appended to a journal keyed by a content hash of the batch; adding
 // -resume replays that journal on startup, skips (and does not re-emit)
@@ -34,6 +44,7 @@
 //	scenario -f examples/scenarios.json -stream -progress
 //	scenario -f examples/scenarios.json -stream -checkpoint run.journal -resume
 //	scenario -f examples/gridsweep/spec.json -stream -frontier
+//	scenario -f examples/gridsweep/spec.json -stream -frontier-refine
 //	scenario -f examples/scenarios.json -timeout 10m
 //	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
 //
@@ -56,6 +67,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"encoding/json"
@@ -75,15 +87,16 @@ func main() {
 
 // options are the scenario flags.
 type options struct {
-	file       string
-	workers    int
-	stream     bool
-	progress   bool
-	checkpoint string
-	resume     bool
-	frontier   bool
-	fidelity   string
-	timeout    time.Duration
+	file           string
+	workers        int
+	stream         bool
+	progress       bool
+	checkpoint     string
+	resume         bool
+	frontier       bool
+	frontierRefine bool
+	fidelity       string
+	timeout        time.Duration
 }
 
 func registerFlags(fs *flag.FlagSet, o *options) {
@@ -94,6 +107,7 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed scenarios to this file (batch mode with -stream)")
 	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and run only unfinished scenarios")
 	fs.BoolVar(&o.frontier, "frontier", false, "append the leakage-vs-AMAT Pareto front summary (grid input only)")
+	fs.BoolVar(&o.frontierRefine, "frontier-refine", false, "run the grid analytically, re-run the Pareto shortlist at trace fidelity, and append the refined front (grid input with -stream only)")
 	fs.StringVar(&o.fidelity, "fidelity", "", `default miss-rate fidelity for configs that do not set one: "trace" (simulate) or "analytical" (stack-distance fast path)`)
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
 }
@@ -148,10 +162,38 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 
 	if grid.IsSpec(data) {
+		// Grid runs count "points": the unit operators watching a
+		// million-point sweep reason in.
+		prog = cli.NewProgress("scenario", "points", tickerW)
 		spec, err := grid.Load(bytes.NewReader(data))
 		if err != nil {
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
+		}
+		if o.frontierRefine {
+			switch {
+			case o.frontier:
+				fmt.Fprintln(stderr, "scenario: choose one of -frontier / -frontier-refine")
+				return 2
+			case !o.stream:
+				fmt.Fprintln(stderr, "scenario: -frontier-refine requires -stream (the run emits two NDJSON phases)")
+				return 2
+			case o.fidelity != "":
+				fmt.Fprintln(stderr, "scenario: -frontier-refine sets fidelity per phase; drop -fidelity")
+				return 2
+			}
+			ro := grid.RefineOptions{
+				Workers:    o.workers,
+				Checkpoint: o.checkpoint,
+				Resume:     o.resume,
+				Progress:   refineProgress(tickerW),
+			}
+			if err := grid.Refine(ctx, spec, ro, stdout); err != nil {
+				// The per-phase tickers carry partial progress; the
+				// cross-phase note would mix two different totals.
+				return cli.Report("scenario", err, cli.NewProgress("scenario", "points", nil), stderr)
+			}
+			return 0
 		}
 		if o.fidelity != "" {
 			if spec.Grid.Axes.Fidelity != nil {
@@ -174,8 +216,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return runWorkBatch(ctx, b, o, fr, prog, stdout, stderr)
 	}
 
-	if o.frontier {
-		fmt.Fprintln(stderr, "scenario: -frontier requires a grid document (a top-level \"grid\" object)")
+	if o.frontier || o.frontierRefine {
+		fmt.Fprintln(stderr, "scenario: -frontier and -frontier-refine require a grid document (a top-level \"grid\" object)")
 		return 2
 	}
 
@@ -310,6 +352,25 @@ func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontie
 	}
 	fmt.Fprintln(stdout, out)
 	return 0
+}
+
+// refineProgress adapts the two-phase refine run to the CLI ticker: each
+// phase reports under its own label ("scenario [analytical]: 12/4096
+// points", then "scenario [refine]: 3/17 points"), so an operator watching
+// stderr sees which fidelity rung is running and how far along it is.
+func refineProgress(w io.Writer) func(phase string, done, total int) {
+	var mu sync.Mutex
+	phases := map[string]*cli.Progress{}
+	return func(phase string, done, total int) {
+		mu.Lock()
+		p, ok := phases[phase]
+		if !ok {
+			p = cli.NewProgress("scenario ["+phase+"]", "points", w)
+			phases[phase] = p
+		}
+		mu.Unlock()
+		p.Hook()(done, total)
+	}
 }
 
 // renderBatchDoc reassembles the driver's NDJSON lines into the buffered

@@ -397,3 +397,70 @@ func TestRunCheckpointFlagValidation(t *testing.T) {
 		t.Errorf("-checkpoint with single-scenario input: exit %d, want 2", code)
 	}
 }
+
+// TestRunGridFrontierRefine runs the multi-fidelity ladder end to end:
+// every analytical line, then the trace shortlist, then the refined
+// frontier summary — with per-phase progress tickers on stderr.
+func TestRunGridFrontierRefine(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-frontier-refine", "-progress"}, strings.NewReader(tinyGrid), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	// 2 analytical points + 1..2 shortlisted trace points + summary.
+	if len(lines) < 4 || len(lines) > 5 {
+		t.Fatalf("emitted %d lines, want 4 or 5:\n%s", len(lines), stdout.String())
+	}
+	for i, want := range []string{"g-l116-l2256-tpcc-s2", "g-l132-l2256-tpcc-s2"} {
+		var res struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &res); err != nil || res.Name != want {
+			t.Errorf("analytical line %d names %q (err %v), want %q", i, res.Name, err, want)
+		}
+	}
+	var summary struct {
+		Frontier []struct {
+			Name string `json:"name"`
+		} `json:"frontier"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &summary); err != nil {
+		t.Fatalf("summary line is not JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if len(summary.Frontier) == 0 {
+		t.Error("refined frontier is empty for a feasible grid")
+	}
+	for _, want := range []string{"scenario [analytical]: 2/2 points", "scenario [refine]:"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing per-phase ticker %q: %q", want, stderr.String())
+		}
+	}
+}
+
+// TestRunFrontierRefineFlagValidation pins the flag contract: exclusive
+// with -frontier, requires -stream, owns the fidelity ladder, and needs a
+// grid document.
+func TestRunFrontierRefineFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		in   string
+		want string
+	}{
+		{"with -frontier", []string{"-stream", "-frontier-refine", "-frontier"}, tinyGrid, "choose one of"},
+		{"without -stream", []string{"-frontier-refine"}, tinyGrid, "requires -stream"},
+		{"with -fidelity", []string{"-stream", "-frontier-refine", "-fidelity", "analytical"}, tinyGrid, "drop -fidelity"},
+		{"non-grid input", []string{"-stream", "-frontier-refine"}, `{"scenarios":[` + tinyScenario + `]}`, "grid document"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			if code := run(t.Context(), c.args, strings.NewReader(c.in), &bytes.Buffer{}, &stderr); code != 2 {
+				t.Errorf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.want) {
+				t.Errorf("stderr %q missing %q", stderr.String(), c.want)
+			}
+		})
+	}
+}

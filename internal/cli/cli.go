@@ -77,6 +77,11 @@ func NewProgress(label, unit string, w io.Writer) *Progress {
 
 // Hook returns the sweep.Progress callback feeding this tracker. The
 // callback is safe to invoke from concurrent workers.
+//
+// Ticker lines are throttled for large fan-outs: every completion prints
+// up to 1000 items, beyond that only every total/1000th (and the final)
+// completion does — a million-point grid reports ~0.1% increments
+// instead of writing a million stderr lines.
 func (p *Progress) Hook() sweep.Progress {
 	return func(done, total int) {
 		p.mu.Lock()
@@ -85,7 +90,7 @@ func (p *Progress) Hook() sweep.Progress {
 			p.done = done
 		}
 		p.total = total
-		if p.w != nil {
+		if p.w != nil && (total <= 1000 || done%(total/1000) == 0 || done == total) {
 			fmt.Fprintf(p.w, "%s: %d/%d %s\n", p.label, done, total, p.unit)
 		}
 	}

@@ -25,6 +25,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cachecfg"
 	"repro/internal/charlib"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/opt"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -88,6 +90,39 @@ func KnobGrid() []device.OperatingPoint {
 	g := charlib.OptimizationGrid()
 	return opt.PairsFromGrid(g.Vths, g.ToxAs)
 }
+
+// The shared substrate behind SharedDesign/SharedKnobGrid: design-space
+// sweeps evaluate the same few cache organizations at thousands to
+// millions of (config, budget) points, and characterize-and-fit is by far
+// the most expensive invariant (~100ms per design). One technology
+// instance anchors the memo so every design shares identical calibration.
+var (
+	sharedTech     = sync.OnceValue(NewTechnology)
+	designMemo     sweep.Memo[cachecfg.Config, *CacheDesign]
+	sharedKnobGrid = sync.OnceValue(KnobGrid)
+)
+
+// SharedTechnology returns the process-wide default technology instance —
+// the one SharedDesign characterizes against. Treat it as read-only.
+func SharedTechnology() *device.Technology { return sharedTech() }
+
+// SharedDesign returns the process-wide memoized cache design for cfg
+// under the default technology, building (netlists + characterization +
+// model fits — the expensive part of a design point) on first use with
+// singleflight semantics. Design construction is deterministic, and model
+// evaluation is pure, so sharing one design across concurrent
+// optimizations preserves the byte-identical-output invariant. Treat the
+// returned design as read-only.
+func SharedDesign(cfg cachecfg.Config) (*CacheDesign, error) {
+	return designMemo.Do(cfg, func() (*CacheDesign, error) {
+		return DesignCache(sharedTech(), cfg)
+	})
+}
+
+// SharedKnobGrid returns the paper's fine optimization grid, computed
+// once per process. Treat the returned slice as read-only; callers that
+// need a private copy should use KnobGrid.
+func SharedKnobGrid() []device.OperatingPoint { return sharedKnobGrid() }
 
 // OptimizeLeakage minimizes the cache's total leakage under a delay budget
 // (seconds) with the chosen assignment scheme, searching the paper's fine

@@ -71,6 +71,7 @@ type Coordinator struct {
 	units     []*unitState
 	lines     [][]byte // per input index; nil until completed
 	remaining int      // indices not yet completed
+	resumed   int      // indices replayed from the checkpoint journal
 	unitsDone int
 	failure   error
 	jr        *journal.Journal
@@ -119,6 +120,7 @@ func New(ctx context.Context, spec Spec, cfg Config) (*Coordinator, error) {
 		}
 		c.lines[i] = line
 		c.remaining--
+		c.resumed++
 	}
 	for _, r := range sweep.Shards(spec.N, cfg.Units) {
 		payload, err := spec.Payload(r)
@@ -407,13 +409,22 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	leased := 0
+	now := time.Now()
+	for _, u := range c.units {
+		if u.state == unitLeased && !now.After(u.deadline) {
+			leased++
+		}
+	}
 	writeJSON(w, http.StatusOK, Status{
-		Kind:       c.spec.Kind,
-		N:          c.spec.N,
-		ItemsDone:  c.spec.N - c.remaining,
-		UnitsTotal: len(c.units),
-		UnitsDone:  c.unitsDone,
-		Failed:     c.failure != nil,
+		Kind:         c.spec.Kind,
+		N:            c.spec.N,
+		ItemsDone:    c.spec.N - c.remaining,
+		ItemsResumed: c.resumed,
+		UnitsTotal:   len(c.units),
+		UnitsDone:    c.unitsDone,
+		UnitsLeased:  leased,
+		Failed:       c.failure != nil,
 	})
 }
 

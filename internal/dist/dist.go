@@ -15,7 +15,7 @@
 //	POST /v1/heartbeat  {"worker":ID,"unit":N}   -> {"ok":true} | 409 {"error":"lease lost"}
 //	POST /v1/result?worker=ID&unit=N  <NDJSON>   -> {"accepted":true}
 //	POST /v1/fail       {"worker":ID,"unit":N,"error":S} -> {"ok":true}
-//	GET  /v1/status                              -> {"kind","n","items_done","units_total","units_done","failed"}
+//	GET  /v1/status                              -> {"kind","n","items_done","items_resumed","units_total","units_done","units_leased","failed"}
 //
 // Liveness is lease-based: a worker holds a unit for LeaseTTL and extends
 // it by heartbeating; when a worker dies mid-lease the lease expires and
@@ -125,12 +125,18 @@ type failRequest struct {
 	Error  string `json:"error"`
 }
 
-// Status is the GET /v1/status snapshot.
+// Status is the GET /v1/status snapshot — what an operator polls to watch
+// a long sweep: N is the full item count (a grid batch's total point
+// count), ItemsDone counts completed items including the
+// journal-replayed ItemsResumed, and UnitsLeased is the current in-flight
+// fan-out.
 type Status struct {
-	Kind       string `json:"kind"`
-	N          int    `json:"n"`
-	ItemsDone  int    `json:"items_done"`
-	UnitsTotal int    `json:"units_total"`
-	UnitsDone  int    `json:"units_done"`
-	Failed     bool   `json:"failed"`
+	Kind         string `json:"kind"`
+	N            int    `json:"n"`
+	ItemsDone    int    `json:"items_done"`
+	ItemsResumed int    `json:"items_resumed"`
+	UnitsTotal   int    `json:"units_total"`
+	UnitsDone    int    `json:"units_done"`
+	UnitsLeased  int    `json:"units_leased"`
+	Failed       bool   `json:"failed"`
 }

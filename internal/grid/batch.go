@@ -23,11 +23,17 @@ const WorkKind = "grid"
 // rendering the same compact NDJSON line `scenario -stream` emits — so a
 // grid run is indistinguishable, line for line, from the equivalent
 // hand-enumerated scenario batch.
+//
+// Expansion is lazy: the batch holds the spec and its range, and
+// RunItem computes point i's config on demand (ConfigAt). A
+// million-point batch is the same few hundred bytes as a ten-point one;
+// memory during a run is bounded by the driver's in-flight window, not
+// the point count.
 type Batch struct {
-	grid    Grid              // defaulted spec
-	r       sweep.Range       // the slice of the full expansion this batch covers
-	n       int               // full-grid point count
-	configs []scenario.Config // expanded configs for [r.Lo, r.Hi)
+	grid Grid        // defaulted spec
+	axes []axis      // resolved dimensions of grid, canonical order
+	r    sweep.Range // the slice of the full expansion this batch covers
+	n    int         // full-grid point count
 }
 
 var _ work.Batch = (*Batch)(nil)
@@ -62,20 +68,24 @@ func init() {
 		if r.Lo < 0 || r.Hi > n || r.Lo >= r.Hi {
 			return nil, fmt.Errorf("grid: range [%d, %d) out of bounds for %d points", r.Lo, r.Hi, n)
 		}
-		// Only the unit's own points are materialized — O(range), not
-		// O(grid). The full-grid duplicate-name check ran on the
-		// coordinator's Expand, whose spec this payload's hash pins.
-		configs, err := expandRange(g, axes, r.Lo, r.Hi)
-		if err != nil {
+		// Nothing is materialized — the worker proves every point valid
+		// analytically and computes configs on demand. The full-grid
+		// duplicate-name backstop ran on the coordinator's Expand, whose
+		// spec this payload's hash pins.
+		if err := validateAxisValues(g, axes); err != nil {
 			return nil, err
 		}
-		return &Batch{grid: g, r: r, n: n, configs: configs}, nil
+		return &Batch{grid: g, axes: axes, r: r, n: n}, nil
 	})
 }
 
-// Expand validates the spec and materializes the full grid, in row-major
-// order over the canonical axis order, with every expanded name checked
-// unique.
+// Expand validates the spec and resolves the full grid, in row-major
+// order over the canonical axis order. Nothing is materialized: point
+// validity and name uniqueness are proven analytically (per axis value,
+// not per point), with a full duplicate-name scan only as a backstop on
+// grids small enough (≤ dupScanMaxPoints) that the scan is free — the
+// one collision class the analytical checks admit is concatenation
+// ambiguity between adjacent template placeholders.
 func (s Spec) Expand() (*Batch, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -85,32 +95,46 @@ func (s Spec) Expand() (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	configs, err := expandRange(g, axes, 0, n)
-	if err != nil {
+	if err := validateAxisValues(g, axes); err != nil {
 		return nil, err
 	}
-	names := make(map[string]int, n)
-	for i, cfg := range configs {
-		if prev, dup := names[cfg.Name]; dup {
-			return nil, fmt.Errorf("grid: points %d and %d both expand to name %q (add the distinguishing axes to the name template)",
-				prev, i, cfg.Name)
+	if n <= dupScanMaxPoints {
+		names := make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			name := configAt(g, axes, i).Name
+			if prev, dup := names[name]; dup {
+				return nil, fmt.Errorf("grid: points %d and %d both expand to name %q (add the distinguishing axes to the name template)",
+					prev, i, name)
+			}
+			names[name] = i
 		}
-		names[cfg.Name] = i
 	}
-	return &Batch{grid: g, r: sweep.Range{Lo: 0, Hi: n}, n: n, configs: configs}, nil
+	return &Batch{grid: g, axes: axes, r: sweep.Range{Lo: 0, Hi: n}, n: n}, nil
 }
 
-// Configs returns the expanded point configs of this batch (slice), in
-// order — the golden tests and docs render these.
+// ConfigAt computes the config of point i of this batch (slice) on
+// demand: the named, defaulted scenario at absolute grid index
+// r.Lo + i. O(axes) per call, no per-point state.
+func (b *Batch) ConfigAt(i int) scenario.Config {
+	return configAt(b.grid, b.axes, b.r.Lo+i)
+}
+
+// Configs materializes every point config of this batch (slice), in
+// order — the golden tests and docs render these. O(Len) memory; large
+// batches should use ConfigAt.
 func (b *Batch) Configs() []scenario.Config {
-	return append([]scenario.Config(nil), b.configs...)
+	out := make([]scenario.Config, b.Len())
+	for i := range out {
+		out[i] = b.ConfigAt(i)
+	}
+	return out
 }
 
 // Kind names the grid payload family.
 func (b *Batch) Kind() string { return WorkKind }
 
 // Len is the number of points in this batch (slice).
-func (b *Batch) Len() int { return len(b.configs) }
+func (b *Batch) Len() int { return b.r.Hi - b.r.Lo }
 
 // Hash is the canonical content hash of this batch: the hex SHA-256 of
 // its wire form — the defaulted spec plus the covered range. Expansion is
@@ -122,11 +146,14 @@ func (b *Batch) Hash() (string, error) {
 }
 
 // RunItem executes point i of this batch as one scenario and returns its
-// compact NDJSON line.
+// compact NDJSON line. The config is computed on demand and dropped when
+// the call returns — running a grid holds O(in-flight points) configs,
+// never the expansion.
 func (b *Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
-	res, err := scenario.RunCtx(ctx, b.configs[i])
+	cfg := b.ConfigAt(i)
+	res, err := scenario.RunCtx(ctx, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("grid point %q: %w", b.configs[i].Name, err)
+		return nil, fmt.Errorf("grid point %q: %w", cfg.Name, err)
 	}
 	return res.NDJSONLine()
 }

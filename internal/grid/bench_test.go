@@ -1,0 +1,61 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchGrid expands a 16-point grid over (l1_kb, l2_kb) at the given
+// fidelity. The axes repeat across iterations, so workload profiles and
+// cache designs are shared exactly as a long-running sweep shares them —
+// the benchmark measures the *marginal* per-point cost, which is what a
+// million-point grid pays after its first few points.
+func benchGrid(b *testing.B, fidelity string) *Batch {
+	b.Helper()
+	spec := fmt.Sprintf(`{"grid":{
+		"name":"b-l1{l1_kb}-l2{l2_kb}-{fidelity}",
+		"axes":{"l1_kb":[16,32,64,128],"l2_kb":[256,512,1024,2048]},
+		"base":{"workload":"tpcc","accesses":20000,"fidelity":%q}
+	}}`, fidelity)
+	s, err := Load(strings.NewReader(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gb, err := s.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gb
+}
+
+// BenchmarkGridRunItem pins the marginal per-point cost of a grid sweep at
+// both fidelities — the number the HardMaxPoints cap and the -frontier-refine
+// shortlist economics are sized against. Substrate shared across points
+// (workload profiles, cache designs, the knob grid) is warmed by the first
+// iteration; steady-state sec/op is the per-point wall a large grid pays.
+func BenchmarkGridRunItem(b *testing.B) {
+	for _, fidelity := range []string{"analytical", "trace"} {
+		b.Run(fidelity, func(b *testing.B) {
+			gb := benchGrid(b, fidelity)
+			ctx := context.Background()
+			// Warm every point once so the loop measures the marginal cost —
+			// the workload profiling pass and the per-cache-organization
+			// design builds are process-wide memos a long sweep pays O(distinct
+			// organizations) times, not O(points) times.
+			for i := 0; i < gb.Len(); i++ {
+				if _, err := gb.RunItem(ctx, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gb.RunItem(ctx, i%gb.Len()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

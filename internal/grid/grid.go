@@ -3,10 +3,16 @@
 // artifact (L1/L2 capacities × assignment scheme × workload × AMAT budget
 // grids) as a first-class workload instead of a hand-enumerated scenario
 // list. A grid.Spec declares axes over the existing scenario.Config
-// fields; Expand materializes the cross product deterministically
-// (row-major over a documented axis order) into a grid.Batch, which
-// implements work.Batch — so streaming, checkpoint/resume, and sweepd
-// distribution come from the unified driver with no new execution code.
+// fields; Expand resolves the cross product deterministically (row-major
+// over a documented axis order) into a grid.Batch, which implements
+// work.Batch — so streaming, checkpoint/resume, and sweepd distribution
+// come from the unified driver with no new execution code.
+//
+// Expansion is lazy: a Batch stores the spec and a point range, never a
+// point slab, and computes point i's config on demand from the row-major
+// index arithmetic. Memory is O(in-flight points) — the worker count of
+// the run — not O(grid), which is what lets HardMaxPoints sit in the
+// tens of millions.
 //
 // The document is a top-level "grid" object:
 //
@@ -35,7 +41,8 @@
 // Each point's name renders from the "name" template (placeholders are
 // the axis field names in braces; fast_memory renders as "fast"/"slow");
 // expanded names must be unique, which forces the template to mention
-// every axis that actually varies. Grids larger than max_points (default
+// every axis that actually varies — checked analytically at Validate,
+// without expanding anything. Grids larger than max_points (default
 // DefaultMaxPoints, hard-capped at HardMaxPoints) are refused at
 // expansion, before any simulation runs.
 package grid
@@ -59,15 +66,31 @@ const DefaultNameTemplate = "g-l1{l1_kb}-l2{l2_kb}-{workload}-s{scheme}"
 
 // DefaultMaxPoints is the expansion cap when the spec does not raise it:
 // large enough for the paper's full L1×L2×workload×scheme product, small
-// enough that a typo'd axis fails loudly instead of materializing a
-// million scenarios.
+// enough that a typo'd axis fails loudly instead of silently queueing a
+// million points.
 const DefaultMaxPoints = 4096
 
-// HardMaxPoints bounds max_points itself: expansion materializes every
-// config up front (so hashes, names, and shard geometry are total
-// functions of the spec), and this keeps that materialization in memory
-// terms a laptop survives.
-const HardMaxPoints = 1 << 18
+// HardMaxPoints bounds max_points itself. Expansion is lazy — point i's
+// config is computed on demand, so memory is O(in-flight points), not
+// O(grid) — which moves the wall from materialization to per-point
+// execution time and journal size (one NDJSON entry per point). At the
+// measured marginal analytical point cost (sub-millisecond; see
+// BenchmarkGridRunItem and BENCH_7.json) a full 1<<24 grid is hours of
+// single-process compute, a scale fleets and the analytical fast path
+// make routine; anything above it is more plausibly a typo'd axis than a
+// plan.
+const HardMaxPoints = 1 << 24
+
+// dupScanMaxPoints bounds the expansion-time duplicate-name backstop
+// scan. Validate's analytical checks (every varying axis in the
+// template, every axis value rendering distinctly) catch the mistakes a
+// user can plausibly make; the only collisions they admit are
+// concatenation ambiguities between adjacent placeholders ("{l1_kb}{l2_kb}"
+// rendering 1,11 and 11,1 both as "111"). Expand scans the full
+// expansion for those only while the grid is small enough that the scan
+// is free — beyond this bound (the pre-lazy HardMaxPoints) names are
+// trusted to the analytical checks, keeping Expand O(axes).
+const dupScanMaxPoints = 1 << 18
 
 // Spec is the JSON document: one top-level "grid" object.
 type Spec struct {
@@ -216,11 +239,16 @@ func (g Grid) baseCollisions() error {
 }
 
 // Validate reports structural spec errors: missing or empty axes, a named
-// or colliding base, an unknown template placeholder, or an out-of-bounds
-// cap. Per-point config errors and duplicate names surface from Expand.
+// or colliding base, an unknown template placeholder, an out-of-bounds
+// cap, or a name template that cannot keep point names unique. The
+// uniqueness check is analytical — O(axes), no expansion: the template
+// must mention every axis that actually varies, and every axis's values
+// must render to distinct strings. Per-point config errors surface from
+// Expand (also analytically, per axis value rather than per point).
 func (s Spec) Validate() error {
 	g := s.Grid.withDefaults()
-	if _, err := g.axes(); err != nil {
+	axes, err := g.axes()
+	if err != nil {
 		return err
 	}
 	if g.Base.Name != "" {
@@ -232,10 +260,58 @@ func (s Spec) Validate() error {
 	if err := validateTemplate(g.Name); err != nil {
 		return err
 	}
+	if err := validateNameCoverage(g, axes); err != nil {
+		return err
+	}
 	if g.MaxPoints < 0 || g.MaxPoints > HardMaxPoints {
 		return fmt.Errorf("grid: max_points %d out of range (0, %d]", g.MaxPoints, HardMaxPoints)
 	}
 	return nil
+}
+
+// validateNameCoverage proves point names unique without expanding the
+// grid: every varying axis (two or more values) must appear as a
+// template placeholder, and each such axis's values must render to
+// pairwise-distinct strings. Two points differing in some axis then
+// differ in that axis's rendered substring, so only concatenation
+// ambiguity between adjacent placeholders can still collide — which the
+// bounded backstop scan in Expand covers.
+func validateNameCoverage(g Grid, axes []axis) error {
+	mentioned := templatePlaceholders(g.Name)
+	for _, a := range axes {
+		if a.n < 2 {
+			continue
+		}
+		if !mentioned[a.field] {
+			return fmt.Errorf("grid: name template %q omits varying axis %s, so its %d values expand to duplicate point names (add {%s})",
+				g.Name, a.field, a.n, a.field)
+		}
+		// Render each value through the same defaulted-config path point
+		// names use, so default folding (fidelity "" renders "trace",
+		// scheme 0 defaults to 2) is caught, not just literal repeats.
+		seen := make(map[string]int, a.n)
+		for j := 0; j < a.n; j++ {
+			cfg := atOrigin(g, axes)
+			a.set(&cfg, j)
+			r := templateFields[a.field](cfg.WithDefaults())
+			if prev, dup := seen[r]; dup {
+				return fmt.Errorf("grid: axis %s values at positions %d and %d both render as %q in point names",
+					a.field, prev, j, r)
+			}
+			seen[r] = j
+		}
+	}
+	return nil
+}
+
+// atOrigin returns the unnamed, undefaulted config at the grid origin —
+// every axis at its first value.
+func atOrigin(g Grid, axes []axis) scenario.Config {
+	cfg := g.Base
+	for _, a := range axes {
+		a.set(&cfg, 0)
+	}
+	return cfg
 }
 
 // templateFields are the placeholders the name template may use.
@@ -292,6 +368,22 @@ func validateTemplate(tmpl string) error {
 	}
 }
 
+// templatePlaceholders returns the placeholder fields of a validated
+// template.
+func templatePlaceholders(tmpl string) map[string]bool {
+	out := make(map[string]bool)
+	rest := tmpl
+	for {
+		open := strings.IndexByte(rest, '{')
+		if open < 0 {
+			return out
+		}
+		close := strings.IndexByte(rest[open:], '}')
+		out[rest[open+1:open+close]] = true
+		rest = rest[open+close+1:]
+	}
+}
+
 // renderName fills the template from one point's (defaulted) config.
 // Templates were validated at Load, so every placeholder resolves.
 func renderName(tmpl string, c scenario.Config) string {
@@ -328,26 +420,43 @@ func pointCount(g Grid) (int, []axis, error) {
 	return total, axes, nil
 }
 
-// expandRange materializes points [lo, hi) of the (defaulted) grid's
-// row-major expansion: named, defaulted, validated scenario configs.
-// Point i is a pure function of i, so a worker rebuilding one wire
-// range pays O(range), not O(grid).
-func expandRange(g Grid, axes []axis, lo, hi int) ([]scenario.Config, error) {
-	configs := make([]scenario.Config, hi-lo)
-	for i := lo; i < hi; i++ {
-		cfg := g.Base
-		// Row-major: the last axis varies fastest.
-		rem := i
-		for k := len(axes) - 1; k >= 0; k-- {
-			axes[k].set(&cfg, rem%axes[k].n)
-			rem /= axes[k].n
-		}
-		cfg = cfg.WithDefaults()
-		cfg.Name = renderName(g.Name, cfg)
-		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("grid: point %d (%s): %w", i, cfg.Name, err)
-		}
-		configs[i-lo] = cfg
+// configAt computes point i of the (defaulted) grid's row-major
+// expansion: a named, defaulted scenario config, a pure function of
+// (g, i) in O(axes) time and memory. It does not validate — Expand and
+// the wire decoder prove every point valid once, per axis value rather
+// than per point (validateAxisValues).
+func configAt(g Grid, axes []axis, i int) scenario.Config {
+	cfg := g.Base
+	// Row-major: the last axis varies fastest.
+	rem := i
+	for k := len(axes) - 1; k >= 0; k-- {
+		axes[k].set(&cfg, rem%axes[k].n)
+		rem /= axes[k].n
 	}
-	return configs, nil
+	cfg = cfg.WithDefaults()
+	cfg.Name = renderName(g.Name, cfg)
+	return cfg
+}
+
+// validateAxisValues proves every point of the grid valid in O(sum of
+// axis lengths) instead of O(product): scenario.Config.Validate checks
+// each field independently, so validating the origin point plus every
+// axis value as a single-field override of the origin covers the whole
+// cross product.
+func validateAxisValues(g Grid, axes []axis) error {
+	origin := configAt(g, axes, 0)
+	if err := origin.Validate(); err != nil {
+		return fmt.Errorf("grid: point 0 (%s): %w", origin.Name, err)
+	}
+	for _, a := range axes {
+		for j := 1; j < a.n; j++ {
+			cfg := origin
+			a.set(&cfg, j)
+			cfg = cfg.WithDefaults()
+			if err := cfg.Validate(); err != nil {
+				return fmt.Errorf("grid: axis %s value %d of %d: %w", a.field, j+1, a.n, err)
+			}
+		}
+	}
+	return nil
 }

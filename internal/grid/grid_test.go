@@ -88,8 +88,26 @@ func TestSpecValidationErrors(t *testing.T) {
 			"unmatched '{'",
 		},
 		"cap above hard max": {
-			`{"grid":{"max_points":9999999,"axes":{"l1_kb":[16]},"base":{"l2_kb":256,"workload":"tpcc"}}}`,
+			`{"grid":{"max_points":99999999,"axes":{"l1_kb":[16]},"base":{"l2_kb":256,"workload":"tpcc"}}}`,
 			"max_points",
+		},
+		"template omits a varying axis": {
+			// Two budgets would expand to the same default name: the
+			// template mentions neither amat_budget_ps nor anything
+			// distinguishing. Caught analytically at load, no expansion.
+			`{"grid":{"axes":{"l1_kb":[16],"amat_budget_ps":[1800,1900]},"base":{"l2_kb":256,"workload":"tpcc"}}}`,
+			"omits varying axis amat_budget_ps",
+		},
+		"axis values render identically": {
+			// fidelity "" is the trace default, so {fidelity} renders both
+			// values as "trace" — a collision the template-coverage check
+			// alone would miss.
+			`{"grid":{"name":"g-l1{l1_kb}-{fidelity}","axes":{"l1_kb":[16],"fidelity":["","trace"]},"base":{"l2_kb":256,"workload":"tpcc"}}}`,
+			`both render as "trace"`,
+		},
+		"repeated axis value": {
+			`{"grid":{"axes":{"l1_kb":[16,16]},"base":{"l2_kb":256,"workload":"tpcc"}}}`,
+			`both render as "16"`,
 		},
 		"unknown field": {
 			`{"grid":{"axes":{"l1_kb":[16]},"base":{"l2_kb":256,"workload":"tpcc"},"bogus":1}}`,
@@ -117,9 +135,11 @@ func TestExpandErrors(t *testing.T) {
 			"more than 3 points",
 		},
 		"duplicate expanded names": {
-			// Two budgets expand to the same default name: the template
-			// mentions neither amat_budget_ps nor anything distinguishing.
-			`{"grid":{"axes":{"l1_kb":[16],"amat_budget_ps":[1800,1900]},"base":{"l2_kb":256,"workload":"tpcc"}}}`,
+			// The analytical checks pass — both axes are in the template,
+			// each axis's values render distinctly — but the placeholders
+			// are adjacent with no separator, so (1,11) and (11,1) both
+			// render "g-111". The backstop full-name scan catches it.
+			`{"grid":{"name":"g-{l1_kb}{l2_kb}","axes":{"l1_kb":[1,11],"l2_kb":[11,1]},"base":{"workload":"tpcc"}}}`,
 			"both expand to name",
 		},
 		"invalid point config": {

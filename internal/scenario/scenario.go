@@ -170,7 +170,6 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	tech := core.NewTechnology()
 	l1Size := cfg.L1KB * cachecfg.KB
 	l2Size := cfg.L2KB * cachecfg.KB
 
@@ -179,11 +178,16 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	l1d, err := core.DesignCache(tech, cachecfg.L1(l1Size))
+	// Designs are memoized process-wide per cache organization: a sweep
+	// over N design points pays characterize-and-fit once per distinct
+	// (level, size), not once per point — the dominant term of the
+	// per-point cost before this hoist (see BenchmarkGridRunItem).
+	tech := core.SharedTechnology()
+	l1d, err := core.SharedDesign(cachecfg.L1(l1Size))
 	if err != nil {
 		return Result{}, err
 	}
-	l2d, err := core.DesignCache(tech, cachecfg.L2(l2Size))
+	l2d, err := core.SharedDesign(cachecfg.L2(l2Size))
 	if err != nil {
 		return Result{}, err
 	}
@@ -208,7 +212,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	res.AMATBudgetPS = units.ToPS(budget)
 
 	scheme := opt.Scheme(cfg.Scheme)
-	r, err := tl.OptimizeL2Ctx(ctx, scheme, a1, core.KnobGrid(), budget)
+	r, err := tl.OptimizeL2Ctx(ctx, scheme, a1, core.SharedKnobGrid(), budget)
 	if err != nil {
 		return Result{}, err
 	}

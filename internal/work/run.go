@@ -64,22 +64,38 @@ func Run(ctx context.Context, b Batch, o Options, w io.Writer) error {
 	if n <= 0 {
 		return fmt.Errorf("work: %s batch has no items", b.Kind())
 	}
-	pending := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if _, ok := o.Done[i]; !ok {
-			pending = append(pending, i)
+	// pending maps stream slot → input index. A nil slice means the
+	// identity mapping — the fresh-run case keeps memory independent of
+	// the item count (lazily-expanded grid batches run millions of items
+	// in one process); only a resume, whose journal is already O(done),
+	// materializes the remainder.
+	var pending []int
+	npending := n
+	if len(o.Done) > 0 {
+		pending = make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if _, ok := o.Done[i]; !ok {
+				pending = append(pending, i)
+			}
 		}
+		if len(pending) == 0 {
+			return nil
+		}
+		npending = len(pending)
 	}
-	if len(pending) == 0 {
-		return nil
+	indexOf := func(k int) int {
+		if pending == nil {
+			return k
+		}
+		return pending[k]
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	ch, wait := sweep.Stream(ctx, len(pending), sweep.StreamConfig{
+	ch, wait := sweep.Stream(ctx, npending, sweep.StreamConfig{
 		Workers:  o.Workers,
 		Progress: o.Progress,
 	}, func(ctx context.Context, k int) (json.RawMessage, error) {
-		return b.RunItem(ctx, pending[k])
+		return b.RunItem(ctx, indexOf(k))
 	})
 	emitted := 0
 	var sinkErr error
@@ -87,7 +103,7 @@ func Run(ctx context.Context, b Batch, o Options, w io.Writer) error {
 		if sinkErr != nil {
 			continue // the post-cancel drain; nothing more is scheduled
 		}
-		idx := pending[emitted]
+		idx := indexOf(emitted)
 		var err error
 		if o.Journal != nil {
 			err = o.Journal.Record(idx, line)
