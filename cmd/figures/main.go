@@ -28,6 +28,11 @@
 //	figures -stream -checkpoint run.journal -resume   # crash-tolerant run
 //	figures -progress       # per-experiment completion ticker on stderr
 //	figures -timeout 30m    # bound the whole run
+//	figures -metrics-addr 127.0.0.1:9090   # /metrics + /debug/pprof while running
+//
+// Every run (except -list) emits a one-line JSON manifest to stderr when
+// it ends — batch hash, item counts, wall time, items/sec, outcome — so a
+// run can be diagnosed after the fact from its captured stderr.
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/work"
 )
@@ -59,20 +65,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick      = fs.Bool("quick", false, "use shorter workload simulations")
-		accesses   = fs.Int("accesses", 0, "override the trace length per (workload, L1 size) simulation (0 = profile default)")
-		fidelity   = fs.String("fidelity", "", `miss-matrix fidelity: "trace" (simulate, the default) or "analytical" (stack-distance fast path)`)
-		outdir     = fs.String("outdir", "", "directory for CSV output (created if missing)")
-		plot       = fs.Bool("plot", false, "render coarse ASCII plots for figures")
-		only       = fs.String("only", "", "run only the artifacts with these comma-separated IDs")
-		list       = fs.Bool("list", false, "list artifact IDs and exit")
-		ext        = fs.Bool("ext", false, "also run the extension/ablation experiments")
-		workers    = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
-		stream     = fs.Bool("stream", false, "emit artifacts as NDJSON, one line per experiment as it completes")
-		checkpoint = fs.String("checkpoint", "", "journal completed artifacts to this file (requires -stream)")
-		resume     = fs.Bool("resume", false, "replay the -checkpoint journal and run only unfinished experiments")
-		progress   = fs.Bool("progress", false, "report per-experiment completion on stderr")
-		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
+		quick       = fs.Bool("quick", false, "use shorter workload simulations")
+		accesses    = fs.Int("accesses", 0, "override the trace length per (workload, L1 size) simulation (0 = profile default)")
+		fidelity    = fs.String("fidelity", "", `miss-matrix fidelity: "trace" (simulate, the default) or "analytical" (stack-distance fast path)`)
+		outdir      = fs.String("outdir", "", "directory for CSV output (created if missing)")
+		plot        = fs.Bool("plot", false, "render coarse ASCII plots for figures")
+		only        = fs.String("only", "", "run only the artifacts with these comma-separated IDs")
+		list        = fs.Bool("list", false, "list artifact IDs and exit")
+		ext         = fs.Bool("ext", false, "also run the extension/ablation experiments")
+		workers     = fs.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = one at a time)")
+		stream      = fs.Bool("stream", false, "emit artifacts as NDJSON, one line per experiment as it completes")
+		checkpoint  = fs.String("checkpoint", "", "journal completed artifacts to this file (requires -stream)")
+		resume      = fs.Bool("resume", false, "replay the -checkpoint journal and run only unfinished experiments")
+		progress    = fs.Bool("progress", false, "report per-experiment completion on stderr")
+		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = unbounded)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +97,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	case *checkpoint != "" && *ext:
 		fmt.Fprintln(stderr, "figures: -checkpoint does not cover -ext artifacts (they are outside the registry batch)")
+		return 2
+	case *stream && *plot:
+		// ASCII plots have no NDJSON field; refuse rather than drop
+		// them silently.
+		fmt.Fprintln(stderr, "figures: -plot is not available with -stream (the ascii field carries the table form)")
 		return 2
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
@@ -164,29 +176,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		maddr, stopMetrics, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "figures: metrics on http://%s/metrics\n", maddr)
+	}
 
 	start := time.Now()
+	man := cli.Manifest{Tool: "figures", Fidelity: *fidelity, Items: len(exps), ItemsRun: len(exps)}
+	var runErr error
+	defer func() {
+		man.Finish(start, nil, runErr)
+		cli.EmitManifest(stderr, man)
+	}()
 	if *stream {
-		if *plot {
-			// ASCII plots have no NDJSON field; refuse rather than drop
-			// them silently.
-			fmt.Fprintln(stderr, "figures: -plot is not available with -stream (the ascii field carries the table form)")
-			return 2
-		}
-		so := streamOpts{outdir: *outdir, ext: *ext, checkpoint: *checkpoint, resume: *resume, workers: *workers}
-		return runStream(ctx, env, exps, so, prog, stdout, stderr, start)
+		so := streamOpts{outdir: *outdir, ext: *ext, checkpoint: *checkpoint, resume: *resume, workers: *workers, metrics: reg}
+		code, err := runStream(ctx, env, exps, so, prog, stdout, stderr, start, &man)
+		runErr = err
+		return code
 	}
 
 	arts, err := env.RunExperimentsCtx(ctx, exps)
 	if err != nil {
+		runErr = err
 		return cli.Report("figures", err, prog, stderr)
 	}
 	if *ext {
 		extra, err := env.ExtensionsCtx(ctx)
 		if err != nil {
+			runErr = err
 			return cli.Report("figures", err, prog, stderr)
 		}
 		arts = append(arts, extra...)
+		man.Items += len(extra)
+		man.ItemsRun += len(extra)
 	}
 
 	printed := 0
@@ -224,6 +253,10 @@ type streamOpts struct {
 	checkpoint string // journal path ("" = no checkpointing)
 	resume     bool   // replay the journal before running
 	workers    int    // driver fan-out
+
+	// metrics, non-nil when -metrics-addr serves a registry, is handed to
+	// the work driver so the debug listener exposes live run metrics.
+	metrics *obs.Registry
 }
 
 // runStream emits artifacts as NDJSON on stdout as they complete, keeping
@@ -234,8 +267,11 @@ type streamOpts struct {
 // and `sweepd serve -checkpoint`. A write error (e.g. a broken pipe)
 // cancels the remaining experiments. With so.ext the extension artifacts
 // follow the registry stream, in bundle order; with so.outdir each
-// artifact's CSV is also written as it lands.
-func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so streamOpts, prog *cli.Progress, stdout, stderr io.Writer, start time.Time) int {
+// artifact's CSV is also written as it lands. man is the run's manifest,
+// filled with the batch identity and resume split as they become known
+// (the caller emits it); the returned error is the run's fatal error for
+// the manifest outcome, nil on success.
+func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so streamOpts, prog *cli.Progress, stdout, stderr io.Writer, start time.Time, man *cli.Manifest) (int, error) {
 	sink := &artifactSink{w: stdout, outdir: so.outdir}
 	if len(exps) > 0 {
 		ids := make([]string, len(exps))
@@ -245,14 +281,18 @@ func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so stre
 		wb, err := exp.NewBatch(ids, env)
 		if err != nil {
 			fmt.Fprintln(stderr, "figures:", err)
-			return 1
+			return 1, err
 		}
-		opts := work.Options{Workers: so.workers, Progress: prog.Hook()}
+		man.Kind = wb.Kind()
+		if hash, err := wb.Hash(); err == nil {
+			man.BatchSHA256 = hash
+		}
+		opts := work.Options{Workers: so.workers, Progress: prog.Hook(), Metrics: so.metrics}
 		if so.checkpoint != "" {
 			jr, done, err := work.OpenJournal(so.checkpoint, wb, so.resume)
 			if err != nil {
 				fmt.Fprintln(stderr, "figures:", err)
-				return 1
+				return 1, err
 			}
 			defer jr.Close()
 			if len(done) > 0 {
@@ -266,22 +306,26 @@ func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so stre
 					for _, line := range done {
 						if err := writeSidecar(so.outdir, line); err != nil {
 							fmt.Fprintln(stderr, "figures:", err)
-							return 1
+							return 1, err
 						}
 					}
 				}
 			}
 			opts.Journal, opts.Done = jr, done
+			man.ItemsResumed = len(done)
+			man.ItemsRun = wb.Len() - len(done)
 		}
 		if err := work.Run(ctx, wb, opts, sink); err != nil {
-			return cli.Report("figures", err, prog, stderr)
+			return cli.Report("figures", err, prog, stderr), err
 		}
 	}
 	if so.ext {
 		extra, err := env.ExtensionsCtx(ctx)
 		if err != nil {
-			return cli.Report("figures", err, prog, stderr)
+			return cli.Report("figures", err, prog, stderr), err
 		}
+		man.Items += len(extra)
+		man.ItemsRun += len(extra)
 		for _, a := range extra {
 			line, err := a.NDJSONLine()
 			if err == nil {
@@ -289,12 +333,12 @@ func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so stre
 			}
 			if err != nil {
 				fmt.Fprintln(stderr, "figures:", err)
-				return 1
+				return 1, err
 			}
 		}
 	}
 	fmt.Fprintf(stderr, "figures: streamed %d artifacts in %v\n", sink.count, time.Since(start).Round(time.Millisecond))
-	return 0
+	return 0, nil
 }
 
 // artifactSink is the stream's sink: it forwards each NDJSON line to

@@ -275,3 +275,52 @@ func TestRunSingleArtifact(t *testing.T) {
 		t.Errorf("unexpected CSV: %v", recs)
 	}
 }
+
+// TestRunMetricsAddrAndManifest pins the observability contract of a
+// stream run: -metrics-addr announces its listener on stderr without
+// changing a byte of stdout, and the run ends with a one-line manifest
+// carrying the batch identity and counts.
+func TestRunMetricsAddrAndManifest(t *testing.T) {
+	var base bytes.Buffer
+	if code := run(t.Context(), tinyStreamArgs, &base, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("baseline run: exit %d", code)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), append(append([]string{}, tinyStreamArgs...), "-metrics-addr", "127.0.0.1:0"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != base.String() {
+		t.Errorf("stdout changed with -metrics-addr:\n got: %q\nwant: %q", stdout.String(), base.String())
+	}
+	if !strings.Contains(stderr.String(), "figures: metrics on http://") {
+		t.Errorf("no metrics listener announcement on stderr: %q", stderr.String())
+	}
+	var man cli.Manifest
+	found := false
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, `{"manifest":`) {
+			var wrap struct {
+				Manifest cli.Manifest `json:"manifest"`
+			}
+			if err := json.Unmarshal([]byte(line), &wrap); err != nil {
+				t.Fatalf("manifest line does not parse: %v\n%s", err, line)
+			}
+			man, found = wrap.Manifest, true
+		}
+	}
+	if !found {
+		t.Fatalf("no manifest line on stderr:\n%s", stderr.String())
+	}
+	switch {
+	case man.Tool != "figures":
+		t.Errorf("manifest tool %q, want figures", man.Tool)
+	case man.Kind == "" || man.BatchSHA256 == "":
+		t.Errorf("manifest misses the batch identity: %+v", man)
+	case man.Items != 2 || man.ItemsRun != 2:
+		t.Errorf("manifest counts: %+v", man)
+	case man.Outcome != "ok":
+		t.Errorf("manifest outcome %q, want ok", man.Outcome)
+	}
+}

@@ -46,7 +46,15 @@
 //	scenario -f examples/gridsweep/spec.json -stream -frontier
 //	scenario -f examples/gridsweep/spec.json -stream -frontier-refine
 //	scenario -f examples/scenarios.json -timeout 10m
+//	scenario -f examples/gridsweep/spec.json -stream -metrics-addr 127.0.0.1:9090
 //	echo '{"name":"demo","l1_kb":16,"l2_kb":512,"workload":"tpcc"}' | scenario
+//
+// With -metrics-addr, the run serves Prometheus metrics (per-scenario
+// latency histograms, throughput, queue depths) on /metrics and the Go
+// profiler on /debug/pprof/ for its duration. Every run additionally
+// emits a one-line JSON manifest to stderr when it ends — batch hash,
+// item counts, wall time, items/sec, outcome — so any run can be
+// diagnosed after the fact from its captured stderr.
 //
 // Example config:
 //
@@ -74,6 +82,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/scenario"
 	"repro/internal/work"
@@ -97,6 +106,11 @@ type options struct {
 	frontierRefine bool
 	fidelity       string
 	timeout        time.Duration
+	metricsAddr    string
+
+	// metrics is the run's registry, non-nil when -metrics-addr serves
+	// one; the work driver records into it. Not a flag.
+	metrics *obs.Registry
 }
 
 func registerFlags(fs *flag.FlagSet, o *options) {
@@ -110,6 +124,7 @@ func registerFlags(fs *flag.FlagSet, o *options) {
 	fs.BoolVar(&o.frontierRefine, "frontier-refine", false, "run the grid analytically, re-run the Pareto shortlist at trace fidelity, and append the refined front (grid input with -stream only)")
 	fs.StringVar(&o.fidelity, "fidelity", "", `default miss-rate fidelity for configs that do not set one: "trace" (simulate) or "analytical" (stack-distance fast path)`)
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9090; empty = off)")
 }
 
 // run is the testable entry point: context, flags and IO come from the
@@ -160,6 +175,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fmt.Fprintln(stderr, "scenario: -checkpoint requires -stream (the journal records NDJSON lines)")
 		return 2
 	}
+	if o.metricsAddr != "" {
+		o.metrics = obs.NewRegistry()
+		maddr, stopMetrics, err := obs.Serve(o.metricsAddr, o.metrics)
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "scenario: metrics on http://%s/metrics\n", maddr)
+	}
 
 	if grid.IsSpec(data) {
 		// Grid runs count "points": the unit operators watching a
@@ -188,7 +213,21 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 				Resume:     o.resume,
 				Progress:   refineProgress(tickerW),
 			}
-			if err := grid.Refine(ctx, spec, ro, stdout); err != nil {
+			// The refine ladder's manifest counts the analytical phase
+			// (the full grid); the trace shortlist rides on top and is
+			// sized by the run itself, not the input.
+			start := time.Now()
+			man := cli.Manifest{Tool: "scenario", Kind: "grid"}
+			if eb, err := spec.Expand(); err == nil {
+				man.Items, man.ItemsRun = eb.Len(), eb.Len()
+				if hash, err := eb.Hash(); err == nil {
+					man.BatchSHA256 = hash
+				}
+			}
+			err := grid.Refine(ctx, spec, ro, stdout)
+			man.Finish(start, nil, err)
+			cli.EmitManifest(stderr, man)
+			if err != nil {
 				// The per-phase tickers carry partial progress; the
 				// cross-phase note would mix two different totals.
 				return cli.Report("scenario", err, cli.NewProgress("scenario", "points", nil), stderr)
@@ -250,7 +289,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if cfg.Fidelity == "" {
 		cfg.Fidelity = o.fidelity
 	}
+	start := time.Now()
 	res, err := scenario.RunCtx(ctx, cfg)
+	man := cli.Manifest{Tool: "scenario", Fidelity: cfg.Fidelity, Items: 1, ItemsRun: 1}
+	man.Finish(start, nil, err)
+	cli.EmitManifest(stderr, man)
 	if err != nil {
 		return cli.Report("scenario", err, prog, stderr)
 	}
@@ -280,10 +323,21 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 // appended summary always covers the whole grid even on a resume that
 // re-emits nothing.
 func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontier, prog *cli.Progress, stdout, stderr io.Writer) int {
-	opts := work.Options{Workers: o.workers, Progress: prog.Hook()}
+	start := time.Now()
+	man := cli.Manifest{Tool: "scenario", Kind: b.Kind(), Fidelity: work.FidelityOf(b), Items: b.Len(), ItemsRun: b.Len()}
+	if hash, err := b.Hash(); err == nil {
+		man.BatchSHA256 = hash
+	}
+	var runErr error
+	defer func() {
+		man.Finish(start, nil, runErr)
+		cli.EmitManifest(stderr, man)
+	}()
+	opts := work.Options{Workers: o.workers, Progress: prog.Hook(), Metrics: o.metrics}
 	if o.checkpoint != "" {
 		jr, done, err := work.OpenJournal(o.checkpoint, b, o.resume)
 		if err != nil {
+			runErr = err
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
@@ -292,12 +346,15 @@ func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontie
 			fmt.Fprintf(stderr, "scenario: resuming, %d/%d scenarios already journaled\n", len(done), b.Len())
 		}
 		opts.Journal, opts.Done = jr, done
+		man.ItemsResumed = len(done)
+		man.ItemsRun = b.Len() - len(done)
 	}
 	if o.stream {
 		var frErr error
 		if fr != nil {
 			for i, line := range opts.Done {
 				if err := fr.Add(i, line); err != nil {
+					runErr = err
 					fmt.Fprintln(stderr, "scenario:", err)
 					return 1
 				}
@@ -309,19 +366,23 @@ func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontie
 			}
 		}
 		if err := work.Run(ctx, b, opts, stdout); err != nil {
+			runErr = err
 			return cli.Report("scenario", err, prog, stderr)
 		}
 		if frErr != nil {
+			runErr = frErr
 			fmt.Fprintln(stderr, "scenario:", frErr)
 			return 1
 		}
 		if fr != nil {
 			summary, err := fr.SummaryLine()
 			if err != nil {
+				runErr = err
 				fmt.Fprintln(stderr, "scenario:", err)
 				return 1
 			}
 			if _, err := fmt.Fprintf(stdout, "%s\n", summary); err != nil {
+				runErr = err
 				fmt.Fprintln(stderr, "scenario:", err)
 				return 1
 			}
@@ -330,23 +391,27 @@ func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontie
 	}
 	lines, err := work.Collect(ctx, b, opts)
 	if err != nil {
+		runErr = err
 		return cli.Report("scenario", err, prog, stderr)
 	}
 	var frontierJSON []byte
 	if fr != nil {
 		for i, line := range lines {
 			if err := fr.Add(i, line); err != nil {
+				runErr = err
 				fmt.Fprintln(stderr, "scenario:", err)
 				return 1
 			}
 		}
 		if frontierJSON, err = json.Marshal(fr.Points()); err != nil {
+			runErr = err
 			fmt.Fprintln(stderr, "scenario:", err)
 			return 1
 		}
 	}
 	out, err := renderBatchDoc(lines, frontierJSON)
 	if err != nil {
+		runErr = err
 		fmt.Fprintln(stderr, "scenario:", err)
 		return 1
 	}

@@ -464,3 +464,81 @@ func TestRunFrontierRefineFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+// manifestFrom extracts and parses the one-line end-of-run manifest a run
+// leaves on stderr.
+func manifestFrom(t *testing.T, stderr string) cli.Manifest {
+	t.Helper()
+	for _, line := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(line, `{"manifest":`) {
+			var wrap struct {
+				Manifest cli.Manifest `json:"manifest"`
+			}
+			if err := json.Unmarshal([]byte(line), &wrap); err != nil {
+				t.Fatalf("manifest line does not parse: %v\n%s", err, line)
+			}
+			return wrap.Manifest
+		}
+	}
+	t.Fatalf("no manifest line on stderr:\n%s", stderr)
+	return cli.Manifest{}
+}
+
+// TestRunMetricsAddrAndManifest pins the observability contract of a
+// batch run: -metrics-addr announces its listener on stderr without
+// changing a byte of stdout (metrics are observation-only), and the run
+// ends with a manifest carrying the batch identity and counts.
+func TestRunMetricsAddrAndManifest(t *testing.T) {
+	batch := `{"scenarios":[` + tinyScenario + `,{"name":"second","l1_kb":16,"l2_kb":512,"workload":"tpcc","accesses":20000}]}`
+
+	var base bytes.Buffer
+	if code := run(t.Context(), []string{"-stream"}, strings.NewReader(batch), &base, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("baseline run: exit %d", code)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-stream", "-metrics-addr", "127.0.0.1:0"}, strings.NewReader(batch), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != base.String() {
+		t.Errorf("stdout changed with -metrics-addr:\n got: %q\nwant: %q", stdout.String(), base.String())
+	}
+	if !strings.Contains(stderr.String(), "scenario: metrics on http://") {
+		t.Errorf("no metrics listener announcement on stderr: %q", stderr.String())
+	}
+	man := manifestFrom(t, stderr.String())
+	switch {
+	case man.Tool != "scenario":
+		t.Errorf("manifest tool %q, want scenario", man.Tool)
+	case man.Kind != "scenario-batch":
+		t.Errorf("manifest kind %q, want scenario-batch", man.Kind)
+	case man.Items != 2 || man.ItemsRun != 2 || man.ItemsResumed != 0:
+		t.Errorf("manifest counts: %+v", man)
+	case man.BatchSHA256 == "":
+		t.Error("manifest carries no batch hash")
+	case man.Outcome != "ok":
+		t.Errorf("manifest outcome %q, want ok", man.Outcome)
+	}
+}
+
+// TestRunManifestResume checks a fully resumed run's manifest reports the
+// replayed/executed split: everything resumed, nothing run, rate omitted.
+func TestRunManifestResume(t *testing.T) {
+	batch := `{"scenarios":[` + tinyScenario + `]}`
+	jpath := filepath.Join(t.TempDir(), "run.journal")
+	if code := run(t.Context(), []string{"-stream", "-checkpoint", jpath}, strings.NewReader(batch), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("checkpointed run failed")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-stream", "-checkpoint", jpath, "-resume"}, strings.NewReader(batch), &stdout, &stderr); code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr.String())
+	}
+	man := manifestFrom(t, stderr.String())
+	if man.Items != 1 || man.ItemsResumed != 1 || man.ItemsRun != 0 {
+		t.Errorf("resumed manifest counts: %+v", man)
+	}
+	if man.Outcome != "ok" || man.ItemsPerSec != 0 {
+		t.Errorf("resumed manifest outcome/rate: %+v", man)
+	}
+}

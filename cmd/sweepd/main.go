@@ -50,11 +50,21 @@
 //	sweepd work -coordinator http://host:8080 -workers 4 -token s3cret -progress
 //	sweepd journal -f big.json -checkpoint big.journal > results.ndjson
 //	sweepd journal -grid examples/gridsweep/spec.json -checkpoint grid.journal > grid.ndjson
+//	sweepd journal -stat -checkpoint big.journal
+//
+// Observability: the coordinator serves a fleet-wide operator probe on
+// GET /v1/status (per-worker liveness, lease ages, straggler flags,
+// throughput and ETA) and Prometheus metrics on GET /metrics, both behind
+// -token; -metrics-addr on serve or work additionally serves the
+// process's registry plus /debug/pprof on a separate, unauthenticated
+// address. serve and work each emit a one-line JSON manifest to stderr
+// when they end — batch hash, item counts, wall time, items/sec, outcome.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -67,8 +77,10 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/dist"
+	"repro/internal/dist/journal"
 	"repro/internal/exp"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/scenario"
 	"repro/internal/work"
@@ -213,15 +225,16 @@ func validateInput(o inputOptions, stderr io.Writer) bool {
 
 // serveOptions are the coordinator flags.
 type serveOptions struct {
-	input      inputOptions
-	addr       string
-	units      int
-	lease      time.Duration
-	checkpoint string
-	resume     bool
-	token      string
-	progress   bool
-	timeout    time.Duration
+	input       inputOptions
+	addr        string
+	units       int
+	lease       time.Duration
+	checkpoint  string
+	resume      bool
+	token       string
+	progress    bool
+	timeout     time.Duration
+	metricsAddr string
 }
 
 func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -237,6 +250,7 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	fs.StringVar(&o.token, "token", "", "shared secret; workers must send it as Authorization: Bearer")
 	fs.BoolVar(&o.progress, "progress", false, "report per-item completion on stderr")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "also serve /metrics and /debug/pprof, unauthenticated, on this address (e.g. 127.0.0.1:9090; empty = off — workers' /metrics on -addr stays token-gated)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -266,11 +280,22 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 		tickerW = stderr
 	}
 	prog := cli.NewProgress("sweepd", noun, tickerW)
-	cfg := dist.Config{Units: o.units, LeaseTTL: o.lease, Progress: prog.Hook()}
+	reg := obs.NewRegistry()
+	cfg := dist.Config{Units: o.units, LeaseTTL: o.lease, Progress: prog.Hook(), Metrics: reg}
+
+	start := time.Now()
+	man := cli.Manifest{Tool: "sweepd serve", Kind: b.Kind(), BatchSHA256: spec.Hash,
+		Fidelity: work.FidelityOf(b), Items: spec.N, ItemsRun: spec.N}
+	var runErr error
+	defer func() {
+		man.Finish(start, nil, runErr)
+		cli.EmitManifest(stderr, man)
+	}()
 
 	if o.checkpoint != "" {
 		jr, done, err := work.OpenJournal(o.checkpoint, b, o.resume)
 		if err != nil {
+			runErr = err
 			fmt.Fprintln(stderr, "sweepd:", err)
 			return 1
 		}
@@ -279,15 +304,32 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 			fmt.Fprintf(stderr, "sweepd: resuming, %d/%d %s already journaled\n", len(done), spec.N, noun)
 		}
 		cfg.Journal, cfg.Done = jr, done
+		man.ItemsResumed = len(done)
+		man.ItemsRun = spec.N - len(done)
 	}
 
 	c, err := dist.New(ctx, spec, cfg)
 	if err != nil {
+		runErr = err
 		fmt.Fprintln(stderr, "sweepd:", err)
 		return 1
 	}
+	if o.metricsAddr != "" {
+		// The debug listener serves the coordinator's own registry — the
+		// same families the token-gated /metrics on -addr exposes — plus
+		// pprof, on an address the operator keeps off the worker network.
+		maddr, stopMetrics, err := obs.Serve(o.metricsAddr, reg)
+		if err != nil {
+			runErr = err
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "sweepd: metrics on http://%s/metrics\n", maddr)
+	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		runErr = err
 		fmt.Fprintln(stderr, "sweepd:", err)
 		return 1
 	}
@@ -312,10 +354,12 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	if writeErr != nil {
 		// The wait error is the cancellation this function triggered; the
 		// write failure (e.g. a broken pipe) is the root cause.
+		runErr = writeErr
 		fmt.Fprintln(stderr, "sweepd:", writeErr)
 		return 1
 	}
 	if err != nil {
+		runErr = err
 		return cli.Report("sweepd", err, prog, stderr)
 	}
 	return 0
@@ -333,6 +377,7 @@ type workOptions struct {
 	fidelity    string
 	progress    bool
 	timeout     time.Duration
+	metricsAddr string
 }
 
 func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Writer) int {
@@ -349,6 +394,7 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 	fs.StringVar(&o.fidelity, "fidelity", "", `execute experiment units at this miss-matrix fidelity: "trace" (default) or "analytical" (the whole fleet must agree)`)
 	fs.BoolVar(&o.progress, "progress", false, "report per-unit completion on stderr")
 	fs.DurationVar(&o.timeout, "timeout", 0, "stop working after this duration (0 = unbounded)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve this worker's /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9091; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -375,10 +421,27 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
 	defer cancel()
 
+	var reg *obs.Registry
+	if o.metricsAddr != "" {
+		reg = obs.NewRegistry()
+		maddr, stopMetrics, err := obs.Serve(o.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "sweepd: metrics on http://%s/metrics\n", maddr)
+	}
+
+	start := time.Now()
+	// A worker does not know the batch size; its manifest counts what this
+	// process executed, accumulated as units are reported. OnUnit runs on
+	// the worker's single lease loop, so plain fields are safe.
+	man := cli.Manifest{Tool: "sweepd work"}
 	w := &dist.Worker{
 		Coordinator: o.coordinator,
 		ID:          o.id,
-		Exec:        dist.RegistryExecutor(o.workers),
+		Exec:        dist.InstrumentedExecutor(o.workers, reg),
 		Poll:        o.poll,
 		Token:       o.token,
 		// Hard-fail when the coordinator's declared experiment scale does
@@ -386,22 +449,32 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 		// mixed-scale fleet must be a loud error, not blended results.
 		VerifyEnv: exp.VerifyScale,
 	}
-	if o.progress {
-		w.OnUnit = func(u dist.Unit) {
+	w.OnUnit = func(u dist.Unit) {
+		man.Kind = u.Kind
+		man.Items += u.Range.Len()
+		man.ItemsRun += u.Range.Len()
+		if o.progress {
 			fmt.Fprintf(stderr, "sweepd: %s finished unit %d (items %d-%d)\n", o.id, u.ID, u.Range.Lo, u.Range.Hi-1)
 		}
 	}
-	if err := w.Run(ctx); err != nil {
-		if errors.Is(err, dist.ErrCoordinatorGone) {
-			// The serve process exits the moment the last line is emitted;
-			// an idle worker discovering that is the normal end of a sweep.
-			fmt.Fprintf(stderr, "sweepd: %s: coordinator gone, assuming the sweep ended\n", o.id)
-			return 0
-		}
+	err := w.Run(ctx)
+	gone := errors.Is(err, dist.ErrCoordinatorGone)
+	if gone {
+		// The serve process exits the moment the last line is emitted;
+		// an idle worker discovering that is the normal end of a sweep.
+		err = nil
+	}
+	man.Finish(start, nil, err)
+	cli.EmitManifest(stderr, man)
+	switch {
+	case gone:
+		fmt.Fprintf(stderr, "sweepd: %s: coordinator gone, assuming the sweep ended\n", o.id)
+	case err != nil:
 		prog := cli.NewProgress("sweepd", "units", nil)
 		return cli.Report("sweepd", err, prog, stderr)
+	default:
+		fmt.Fprintf(stderr, "sweepd: %s done\n", o.id)
 	}
-	fmt.Fprintf(stderr, "sweepd: %s done\n", o.id)
 	return 0
 }
 
@@ -411,6 +484,13 @@ func runWork(ctx context.Context, args []string, _ io.Reader, _, stderr io.Write
 // stdout in input order. The journal, not any one run's stdout, is the
 // authoritative record of a checkpointed sweep across restarts; this is
 // how the complete result set is recovered from it.
+//
+// With -stat it instead prints a one-line JSON completion summary (kind,
+// batch hash, items done/total, torn-tail flag) without reassembling —
+// or even reading into memory — any result lines, and without needing
+// the input batch at all: the summary describes whatever the journal
+// itself pins. Exit status 0 when complete, 1 when not (so scripts can
+// poll a checkpoint directly).
 func runJournal(_ context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweepd journal", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -418,12 +498,30 @@ func runJournal(_ context.Context, args []string, stdin io.Reader, stdout, stder
 	registerInputFlags(fs, &in)
 	checkpoint := fs.String("checkpoint", "", "journal file to read (required)")
 	partial := fs.Bool("partial", false, "exit 0 even when the journal is incomplete (emit what is journaled)")
+	stat := fs.Bool("stat", false, "print a JSON completion summary instead of the result lines (no input batch needed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *checkpoint == "" {
 		fmt.Fprintln(stderr, "sweepd: journal requires -checkpoint")
 		return 2
+	}
+	if *stat {
+		st, err := journal.Stat(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		line, err := json.Marshal(st)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\n", line)
+		if !st.Complete && !*partial {
+			return 1
+		}
+		return 0
 	}
 	if !validateInput(in, stderr) {
 		return 2

@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -12,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dist/journal"
 	"repro/internal/exp"
 	"repro/internal/grid"
 	"repro/internal/scenario"
@@ -293,6 +297,77 @@ func TestJournalSubcommand(t *testing.T) {
 	}
 }
 
+// TestJournalStat drives `sweepd journal -stat`: a one-line JSON summary
+// of a checkpoint's completion — computed from the journal alone, with no
+// input batch on stdin or flags — exiting 0 when complete and 1 when not
+// (0 with -partial), without emitting any result lines.
+func TestJournalStat(t *testing.T) {
+	b, err := scenario.LoadBatch(strings.NewReader(testBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(t.TempDir(), "stat.journal")
+	jr, done, err := work.OpenJournal(jpath, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := work.Run(t.Context(), b, work.Options{Workers: 1, Journal: jr, Done: done}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	hash, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete journal: summary on stdout, exit 0 — note the empty stdin;
+	// -stat must not need the input batch.
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"journal", "-stat", "-checkpoint", jpath}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("journal -stat: exit %d, stderr: %s", code, stderr.String())
+	}
+	var st journal.Stats
+	if err := json.Unmarshal(stdout.Bytes(), &st); err != nil {
+		t.Fatalf("summary is not JSON: %v (%q)", err, stdout.String())
+	}
+	want := journal.Stats{Kind: "scenario-batch", BatchSHA256: hash, N: 3, Done: 3, Complete: true}
+	if st != want {
+		t.Errorf("stat = %+v, want %+v", st, want)
+	}
+	if strings.Count(stdout.String(), "\n") != 1 {
+		t.Errorf("-stat must emit exactly one line, got %q", stdout.String())
+	}
+
+	// Cut the journal back to one entry: Done drops, exit flips to 1
+	// (back to 0 with -partial).
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.SplitAfter(string(data), "\n")
+	if err := os.WriteFile(jpath, []byte(jlines[0]+jlines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if code := run(t.Context(), []string{"journal", "-stat", "-checkpoint", jpath}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("incomplete -stat: exit %d, want 1", code)
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 || st.Complete {
+		t.Errorf("incomplete stat = %+v", st)
+	}
+	if code := run(t.Context(), []string{"journal", "-stat", "-partial", "-checkpoint", jpath}, strings.NewReader(""), &bytes.Buffer{}, &stderr); code != 0 {
+		t.Fatalf("incomplete -stat -partial: exit %d, want 0", code)
+	}
+
+	// A missing file is a plain failure.
+	if code := run(t.Context(), []string{"journal", "-stat", "-checkpoint", "/nonexistent.journal"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); code != 1 {
+		t.Fatalf("missing journal: exit %d, want 1", code)
+	}
+}
+
 // TestJournalExperimentsScale checks `sweepd journal -experiments` can
 // replay an experiments checkpoint written at a non-default environment
 // scale (e.g. by `figures -quick -accesses N -checkpoint`) when the scale
@@ -438,5 +513,106 @@ func TestServeAcceptsSingleConfig(t *testing.T) {
 	}
 	if !strings.Contains(stdout, `"name":"solo"`) || strings.Count(stdout, "\n") != 1 {
 		t.Errorf("unexpected single-config output: %q", stdout)
+	}
+}
+
+// TestServeMetricsAddrAndManifests drives the fleet observability path at
+// the binary level: serve with -metrics-addr exposes the coordinator's
+// registry (plus pprof) on the debug listener and the same families on
+// the worker protocol's /metrics while the batch is still pending; after
+// a worker (itself running -metrics-addr) finishes the batch, both
+// processes leave a manifest on stderr with matching batch accounting.
+func TestServeMetricsAddrAndManifests(t *testing.T) {
+	ctx := t.Context()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-units", "3", "-metrics-addr", "127.0.0.1:0"},
+			strings.NewReader(testBatch), stdout, stderr)
+	}()
+	metricsRE := regexp.MustCompile(`sweepd: metrics on (http://[^\s]+)/metrics`)
+	var url, murl string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" || murl == "" {
+		if m := servingRE.FindStringSubmatch(stderr.String()); m != nil {
+			url = m[1]
+		}
+		if m := metricsRE.FindStringSubmatch(stderr.String()); m != nil {
+			murl = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never announced both listeners; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// No worker has leased anything yet, so the serve blocks and both
+	// exposition surfaces are stable: the whole batch is pending.
+	for _, target := range []string{murl + "/metrics", url + "/metrics"} {
+		resp, err := http.Get(target)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", target, resp.StatusCode)
+		}
+		if want := `dist_items{kind="scenario-batch"} 3`; !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: exposition misses %q:\n%s", target, want, body)
+		}
+	}
+	resp, err := http.Get(murl + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+
+	var wstdout, wstderr bytes.Buffer
+	wcode := run(ctx, []string{"work", "-coordinator", url, "-id", "w0", "-workers", "1", "-poll", "10ms",
+		"-metrics-addr", "127.0.0.1:0"}, strings.NewReader(""), &wstdout, &wstderr)
+	if wcode != 0 {
+		t.Fatalf("worker: exit %d, stderr:\n%s", wcode, wstderr.String())
+	}
+	if c := <-code; c != 0 {
+		t.Fatalf("serve: exit %d, stderr:\n%s", c, stderr.String())
+	}
+
+	parse := func(name, text string) (m struct {
+		Manifest struct {
+			Tool        string `json:"tool"`
+			Kind        string `json:"kind"`
+			BatchSHA256 string `json:"batch_sha256"`
+			Items       int    `json:"items"`
+			ItemsRun    int    `json:"items_run"`
+			Outcome     string `json:"outcome"`
+		} `json:"manifest"`
+	}) {
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, `{"manifest":`) {
+				if err := json.Unmarshal([]byte(line), &m); err != nil {
+					t.Fatalf("%s manifest does not parse: %v\n%s", name, err, line)
+				}
+				return m
+			}
+		}
+		t.Fatalf("no %s manifest on stderr:\n%s", name, text)
+		return m
+	}
+	sm := parse("serve", stderr.String()).Manifest
+	if sm.Tool != "sweepd serve" || sm.Kind != "scenario-batch" || sm.Items != 3 || sm.ItemsRun != 3 ||
+		sm.BatchSHA256 == "" || sm.Outcome != "ok" {
+		t.Errorf("serve manifest: %+v", sm)
+	}
+	wm := parse("work", wstderr.String()).Manifest
+	if wm.Tool != "sweepd work" || wm.Kind != "scenario-batch" || wm.Items != 3 || wm.ItemsRun != 3 ||
+		wm.Outcome != "ok" {
+		t.Errorf("work manifest: %+v", wm)
+	}
+	if !strings.Contains(wstderr.String(), "sweepd: metrics on http://") {
+		t.Errorf("worker announced no metrics listener: %q", wstderr.String())
 	}
 }

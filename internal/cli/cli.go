@@ -8,15 +8,18 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -60,19 +63,33 @@ func ExitCode(err error) int {
 }
 
 // Progress tracks fan-out completion for a command: it serializes
-// concurrent hook calls, optionally echoes a ticker line per completion,
-// and renders a partial-progress note for cancellation diagnostics.
+// concurrent hook calls, optionally echoes a ticker line per completion
+// with the observed rate and an ETA, and renders a partial-progress note
+// for cancellation diagnostics.
 type Progress struct {
 	mu          sync.Mutex
 	w           io.Writer // nil = track silently
 	label, unit string
 	done, total int
+	clock       obs.Clock
+	start       time.Time // first observed completion; zero until then
+	base        int       // done at first observation — rate covers what we watched
 }
 
 // NewProgress returns a tracker that prints "label: done/total unit" to w
-// after each completed item, or tracks silently when w is nil.
+// after each completed item — plus ", N unit/s, ~Xs left" once a rate is
+// observable — or tracks silently when w is nil.
 func NewProgress(label, unit string, w io.Writer) *Progress {
 	return &Progress{w: w, label: label, unit: unit}
+}
+
+// WithClock replaces the tracker's time source (default time.Now via the
+// obs clock, the same source the metrics layer uses, so CLI tickers and
+// scraped throughput agree). Tests inject a fake to pin the rate/ETA
+// arithmetic.
+func (p *Progress) WithClock(c obs.Clock) *Progress {
+	p.clock = c
+	return p
 }
 
 // Hook returns the sweep.Progress callback feeding this tracker. The
@@ -82,17 +99,61 @@ func NewProgress(label, unit string, w io.Writer) *Progress {
 // up to 1000 items, beyond that only every total/1000th (and the final)
 // completion does — a million-point grid reports ~0.1% increments
 // instead of writing a million stderr lines.
+//
+// The rate is measured from the first observed completion (a resumed run
+// reports the rate of what it actually executed, not of replayed
+// journal lines), and the ETA extrapolates it over the remainder:
+// "figures: 500/1000 experiments, 12 experiments/s, ~42s left". The
+// first line of a run carries no rate — nothing is measurable yet.
 func (p *Progress) Hook() sweep.Progress {
 	return func(done, total int) {
 		p.mu.Lock()
 		defer p.mu.Unlock()
+		now := p.clock.Now()
+		if p.start.IsZero() {
+			p.start = now
+			p.base = done
+		}
 		if done > p.done {
 			p.done = done
 		}
 		p.total = total
 		if p.w != nil && (total <= 1000 || done%(total/1000) == 0 || done == total) {
-			fmt.Fprintf(p.w, "%s: %d/%d %s\n", p.label, done, total, p.unit)
+			fmt.Fprintf(p.w, "%s: %d/%d %s%s\n", p.label, done, total, p.unit, p.rateSuffix(done, total, now))
 		}
+	}
+}
+
+// rateSuffix renders ", N unit/s, ~Xs left" from the completions
+// observed since the first hook call, or "" while no rate is measurable
+// (first line, or a clock that has not advanced). Callers hold p.mu.
+func (p *Progress) rateSuffix(done, total int, now time.Time) string {
+	elapsed := now.Sub(p.start).Seconds()
+	if done <= p.base || elapsed <= 0 {
+		return ""
+	}
+	rate := float64(done-p.base) / elapsed
+	out := fmt.Sprintf(", %s %s/s", formatRate(rate), p.unit)
+	if done < total {
+		eta := time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+		if eta < time.Second {
+			eta = time.Second
+		}
+		out += fmt.Sprintf(", ~%s left", eta)
+	}
+	return out
+}
+
+// formatRate renders an items/sec figure at a precision matched to its
+// magnitude (1234, 45.2, 0.08).
+func formatRate(rate float64) string {
+	switch {
+	case rate >= 100:
+		return fmt.Sprintf("%.0f", rate)
+	case rate >= 1:
+		return fmt.Sprintf("%.1f", rate)
+	default:
+		return fmt.Sprintf("%.2f", rate)
 	}
 }
 
@@ -146,6 +207,75 @@ func Dispatch(ctx context.Context, name string, cmds []Command, args []string, s
 	fmt.Fprintf(stderr, "%s: unknown command %q\n", name, sub)
 	usage()
 	return 2
+}
+
+// Manifest is the structured end-of-run record every long-running binary
+// (scenario, figures, sweepd serve/work) emits to stderr as one JSON
+// line, `{"manifest":{...}}` — enough to diagnose any run after the
+// fact: what ran (kind, batch hash, fidelity), how much (items, resume
+// split), how fast (wall time, items/sec), and how it ended. stderr, not
+// stdout: result streams stay byte-identical to sequential runs.
+type Manifest struct {
+	// Tool is the emitting binary (and subcommand, e.g. "sweepd serve").
+	Tool string `json:"tool"`
+	// Kind is the workload kind executed ("scenario-batch",
+	// "experiments", "grid"), empty for runs outside the work registry.
+	Kind string `json:"kind,omitempty"`
+	// BatchSHA256 is the batch content hash — the same hash that pins
+	// checkpoint journals and distributed runs, so a manifest links a
+	// run to its journal and its input.
+	BatchSHA256 string `json:"batch_sha256,omitempty"`
+	// Fidelity is the batch's miss-matrix fidelity label.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Items is the batch size; ItemsRun of them executed here and
+	// ItemsResumed were replayed from a checkpoint.
+	Items        int `json:"items"`
+	ItemsRun     int `json:"items_run"`
+	ItemsResumed int `json:"items_resumed,omitempty"`
+	// WallMS is the run's wall time; ItemsPerSec = ItemsRun over it.
+	WallMS      int64   `json:"wall_ms"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// Outcome is "ok", "failed", "cancelled", or "timed_out"; Error
+	// carries the failure text for the non-ok outcomes.
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Finish stamps the timing and outcome fields from a run's start time
+// and final error: wall clock, the derived rate (rounded to 3 decimals —
+// a diagnostic figure, not a measurement), and the outcome/error pair.
+func (m *Manifest) Finish(start time.Time, clock obs.Clock, err error) {
+	wall := clock.Now().Sub(start)
+	m.WallMS = wall.Milliseconds()
+	if secs := wall.Seconds(); secs > 0 && m.ItemsRun > 0 {
+		m.ItemsPerSec = math.Round(float64(m.ItemsRun)/secs*1000) / 1000
+	}
+	switch {
+	case err == nil:
+		m.Outcome = "ok"
+	case TimedOut(err):
+		m.Outcome = "timed_out"
+		m.Error = err.Error()
+	case Cancelled(err):
+		m.Outcome = "cancelled"
+		m.Error = err.Error()
+	default:
+		m.Outcome = "failed"
+		m.Error = err.Error()
+	}
+}
+
+// EmitManifest writes the manifest to w as its one-line wire form.
+// Best-effort: a broken stderr never fails a run that computed its
+// results.
+func EmitManifest(w io.Writer, m Manifest) {
+	line, err := json.Marshal(struct {
+		Manifest Manifest `json:"manifest"`
+	}{m})
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "%s\n", line)
 }
 
 // Report writes the standard diagnostics for a fatal run error — the error

@@ -50,6 +50,56 @@ func TestRequireTokenGate(t *testing.T) {
 	}
 }
 
+// TestTokenCoversEveryEndpoint pins that the observability endpoints sit
+// behind the same gate as the work protocol: every route — the status
+// probe and the metrics exposition included — answers 401 without the
+// secret and 200 with it. A fleet whose wire protocol needs a token must
+// not leak progress or worker liveness to anonymous scrapers.
+func TestTokenCoversEveryEndpoint(t *testing.T) {
+	ctx := t.Context()
+	c, err := New(ctx, toySpec(2), Config{Units: 1, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range c.Results() {
+		}
+	}()
+	srv := httptest.NewServer(RequireToken("s3cret", c.Handler()))
+	t.Cleanup(srv.Close)
+
+	endpoints := []struct {
+		method, path, body string
+	}{
+		{http.MethodPost, "/v1/lease", `{"worker":"w"}`},
+		{http.MethodGet, "/v1/status", ""},
+		{http.MethodGet, "/metrics", ""},
+	}
+	for _, ep := range endpoints {
+		do := func(withToken bool) int {
+			req, err := http.NewRequest(ep.method, srv.URL+ep.path, strings.NewReader(ep.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withToken {
+				req.Header.Set("Authorization", "Bearer s3cret")
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp.StatusCode
+		}
+		if code := do(false); code != http.StatusUnauthorized {
+			t.Errorf("%s %s without token: status %d, want 401", ep.method, ep.path, code)
+		}
+		if code := do(true); code != http.StatusOK {
+			t.Errorf("%s %s with token: status %d, want 200", ep.method, ep.path, code)
+		}
+	}
+}
+
 // TestRequireTokenEmptyDisables checks an empty token leaves the handler
 // untouched (auth off), matching the -token flag default.
 func TestRequireTokenEmptyDisables(t *testing.T) {

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/dist/journal"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -49,6 +51,52 @@ type Config struct {
 	// checkpoint are excluded from both numbers — a resumed run counts
 	// only the remainder it actually executes.
 	Progress sweep.Progress
+	// Metrics, when non-nil, is the registry the coordinator's dist_*
+	// families register into — share one registry to expose coordinator
+	// and driver metrics on a single endpoint. Nil gets a private
+	// registry; either way Handler serves it at GET /metrics.
+	Metrics *obs.Registry
+	// Clock is the coordinator's time source (nil = time.Now): leases,
+	// liveness, throughput, and straggler detection all read it. Tests
+	// inject a fake to pin the derived-status arithmetic.
+	Clock obs.Clock
+}
+
+// Coordinator metric names — the dist_* families Handler exposes at GET
+// /metrics. The gauges are read-time views of the coordinator's own
+// state (evaluated at scrape, no hot-path cost); the histogram observes
+// one value per completed unit.
+const (
+	// MetricUnitExecSeconds is the per-unit execution-time histogram,
+	// labeled (kind) — the worker-reported exec_ms when present, lease
+	// age otherwise.
+	MetricUnitExecSeconds = "dist_unit_exec_seconds"
+	// MetricDistItems / MetricDistItemsDone gauge the batch size and
+	// completed items (including journal-replayed ones), labeled (kind).
+	MetricDistItems     = "dist_items"
+	MetricDistItemsDone = "dist_items_done"
+	// MetricUnitsLeased gauges units currently out on a live lease,
+	// labeled (kind).
+	MetricUnitsLeased = "dist_units_leased"
+	// MetricWorkersLive gauges workers heard from within one lease TTL,
+	// labeled (kind).
+	MetricWorkersLive = "dist_workers_live"
+	// MetricDistItemsPerSec gauges the completion rate of items this run
+	// executed, labeled (kind) — the same figure Status.ItemsPerSec
+	// reports.
+	MetricDistItemsPerSec = "dist_items_per_second"
+)
+
+// stragglerMinSamples is how many units must have completed before the
+// straggler heuristic has a baseline worth flagging against.
+const stragglerMinSamples = 3
+
+// workerState is the coordinator's per-worker bookkeeping, keyed by the
+// worker's self-assigned ID.
+type workerState struct {
+	lastSeen  time.Time
+	unitsDone int
+	itemsDone int
 }
 
 // unitState is the coordinator-side lease bookkeeping for one unit.
@@ -57,6 +105,7 @@ type unitState struct {
 	state    int
 	worker   string
 	deadline time.Time
+	leasedAt time.Time // current lease grant; zero while pending/done
 }
 
 // Coordinator owns a batch: it leases units to workers, collects their
@@ -67,6 +116,10 @@ type Coordinator struct {
 	ttl   time.Duration
 	retry time.Duration
 
+	clock obs.Clock
+	start time.Time
+	reg   *obs.Registry
+
 	mu        sync.Mutex
 	units     []*unitState
 	lines     [][]byte // per input index; nil until completed
@@ -75,6 +128,10 @@ type Coordinator struct {
 	unitsDone int
 	failure   error
 	jr        *journal.Journal
+	workers   map[string]*workerState
+	execSumMS float64 // summed completed-unit execution time
+	execCount int     // completed units with a measured execution time
+	execHist  *obs.Histogram
 
 	signal   chan struct{} // wakes the emitter; capacity 1
 	out      chan []byte
@@ -102,18 +159,26 @@ func New(ctx context.Context, spec Spec, cfg Config) (*Coordinator, error) {
 	if retry <= 0 {
 		retry = 200 * time.Millisecond
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	c := &Coordinator{
 		spec:      spec,
 		ttl:       ttl,
 		retry:     retry,
+		clock:     cfg.Clock,
+		reg:       reg,
 		lines:     make([][]byte, spec.N),
 		remaining: spec.N,
 		jr:        cfg.Journal,
+		workers:   make(map[string]*workerState),
 		signal:    make(chan struct{}, 1),
 		out:       make(chan []byte),
 		finished:  make(chan struct{}),
 		done:      ctx.Done(),
 	}
+	c.start = c.clock.Now()
 	for i, line := range cfg.Done {
 		if i < 0 || i >= spec.N {
 			return nil, fmt.Errorf("dist: resumed index %d out of range [0, %d)", i, spec.N)
@@ -134,8 +199,86 @@ func New(ctx context.Context, spec Spec, cfg Config) (*Coordinator, error) {
 		}
 		c.units = append(c.units, u)
 	}
+	c.registerMetrics()
 	go c.emit(ctx, cfg.Progress)
 	return c, nil
+}
+
+// registerMetrics binds the dist_* families: read-time gauges over the
+// coordinator's own state (the fns lock mu at scrape time — never call
+// them with mu held) plus the per-unit execution-time histogram.
+func (c *Coordinator) registerMetrics() {
+	kind := c.spec.Kind
+	c.execHist = c.reg.Histogram(MetricUnitExecSeconds,
+		"per-unit execution time in seconds", nil, "kind").With(kind)
+	c.reg.Gauge(MetricDistItems, "items in the distributed batch", "kind").
+		WithFunc(func() float64 { return float64(c.spec.N) }, kind)
+	c.reg.Gauge(MetricDistItemsDone, "items completed, including journal-replayed ones", "kind").
+		WithFunc(func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.spec.N - c.remaining)
+		}, kind)
+	c.reg.Gauge(MetricUnitsLeased, "units currently out on a live lease", "kind").
+		WithFunc(func() float64 {
+			now := c.clock.Now()
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			leased := 0
+			for _, u := range c.units {
+				if u.state == unitLeased && !now.After(u.deadline) {
+					leased++
+				}
+			}
+			return float64(leased)
+		}, kind)
+	c.reg.Gauge(MetricWorkersLive, "workers heard from within one lease TTL", "kind").
+		WithFunc(func() float64 {
+			now := c.clock.Now()
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			live := 0
+			for _, w := range c.workers {
+				if now.Sub(w.lastSeen) <= c.ttl {
+					live++
+				}
+			}
+			return float64(live)
+		}, kind)
+	c.reg.Gauge(MetricDistItemsPerSec, "completion rate of items this run executed", "kind").
+		WithFunc(func() float64 {
+			now := c.clock.Now()
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.rate(now)
+		}, kind)
+}
+
+// Metrics returns the registry the coordinator's dist_* families live in
+// — the one Handler serves at GET /metrics — so callers can expose the
+// same registry on a debug listener or register their own families next
+// to the coordinator's.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// rate returns the completion rate of items this run executed (replayed
+// indices excluded). Callers hold mu.
+func (c *Coordinator) rate(now time.Time) float64 {
+	executed := (c.spec.N - c.remaining) - c.resumed
+	if secs := now.Sub(c.start).Seconds(); secs > 0 && executed > 0 {
+		return float64(executed) / secs
+	}
+	return 0
+}
+
+// noteWorker updates a worker's liveness bookkeeping. Callers hold mu.
+func (c *Coordinator) noteWorker(id string, now time.Time) *workerState {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerState{}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	return w
 }
 
 // rangeDone reports whether every index of r already has a line (replayed
@@ -231,7 +374,10 @@ func (c *Coordinator) wake() {
 	}
 }
 
-// Handler returns the coordinator's HTTP API.
+// Handler returns the coordinator's HTTP API: the worker protocol, the
+// status probe, and the Prometheus exposition of the coordinator's
+// metrics registry. One handler means one RequireToken gate covers all
+// of them.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
@@ -239,6 +385,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/result", c.handleResult)
 	mux.HandleFunc("POST /v1/fail", c.handleFail)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	mux.Handle("GET /metrics", obs.Handler(c.reg))
 	return mux
 }
 
@@ -269,6 +416,7 @@ func (c *Coordinator) reclaimExpired(now time.Time) {
 		if u.state == unitLeased && now.After(u.deadline) {
 			u.state = unitPending
 			u.worker = ""
+			u.leasedAt = time.Time{}
 		}
 	}
 }
@@ -283,9 +431,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
 		return
 	}
-	now := time.Now()
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.noteWorker(req.Worker, now)
 	if c.remaining == 0 {
 		writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
 		return
@@ -298,6 +447,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		u.state = unitLeased
 		u.worker = req.Worker
 		u.deadline = now.Add(c.ttl)
+		u.leasedAt = now
 		writeJSON(w, http.StatusOK, LeaseResponse{Unit: &u.unit, Env: c.spec.Env, LeaseTTLMS: c.ttl.Milliseconds()})
 		return
 	}
@@ -310,8 +460,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed heartbeat"})
 		return
 	}
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.noteWorker(req.Worker, now)
 	if req.Unit < 0 || req.Unit >= len(c.units) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown unit"})
 		return
@@ -321,14 +473,17 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, map[string]string{"error": "lease lost"})
 		return
 	}
-	u.deadline = time.Now().Add(c.ttl)
+	u.deadline = now.Add(c.ttl)
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 // handleResult ingests one unit's NDJSON lines. Results are accepted even
 // from a worker whose lease has expired — the work is deterministic, so a
 // late line is as good as the re-leased copy, and per-index idempotency
-// keeps the first arrival.
+// keeps the first arrival. The optional exec_ms query parameter carries
+// the worker's measured unit execution time; without it the lease age
+// stands in, so the timing stats degrade rather than vanish against old
+// workers.
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("worker")
 	unitID, err := strconv.Atoi(r.URL.Query().Get("unit"))
@@ -336,6 +491,8 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "result needs ?worker=ID&unit=N"})
 		return
 	}
+	execMS, execErr := strconv.ParseFloat(r.URL.Query().Get("exec_ms"), 64)
+	haveExec := execErr == nil && execMS >= 0
 	body, err := readAll(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -343,8 +500,10 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	lines := splitNDJSON(body)
 
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ws := c.noteWorker(worker, now)
 	if unitID < 0 || unitID >= len(c.units) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "unknown unit"})
 		return
@@ -364,6 +523,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	stored := 0
 	for k, line := range lines {
 		idx := u.unit.Range.Lo + k
 		if c.lines[idx] != nil {
@@ -381,14 +541,35 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		c.lines[idx] = line
 		c.remaining--
+		stored++
 	}
+	ws.itemsDone += stored
 	if u.state != unitDone {
 		u.state = unitDone
-		u.worker = ""
 		c.unitsDone++
+		ws.unitsDone++
+		// One timing observation per completed unit: the worker's own
+		// measurement when reported, its lease age otherwise (a late
+		// result from an expired lease has neither — skip it).
+		switch {
+		case haveExec:
+			c.recordUnitExec(execMS)
+		case u.worker == worker && !u.leasedAt.IsZero():
+			c.recordUnitExec(float64(now.Sub(u.leasedAt)) / float64(time.Millisecond))
+		}
+		u.worker = ""
+		u.leasedAt = time.Time{}
 	}
 	c.wake()
 	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+}
+
+// recordUnitExec folds one completed unit's execution time into the
+// straggler baseline and the exec-time histogram. Callers hold mu.
+func (c *Coordinator) recordUnitExec(ms float64) {
+	c.execSumMS += ms
+	c.execCount++
+	c.execHist.Observe(ms / 1000)
 }
 
 func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
@@ -398,6 +579,7 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.mu.Lock()
+	c.noteWorker(req.Worker, c.clock.Now())
 	if c.failure == nil {
 		c.failure = fmt.Errorf("dist: unit %d failed on worker %s: %s", req.Unit, req.Worker, req.Error)
 	}
@@ -407,25 +589,67 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// Status assembles the operator snapshot GET /v1/status serves — exported
+// so the serving process can read its own coordinator (for end-of-run
+// manifests) without going through HTTP.
+func (c *Coordinator) Status() Status {
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	leased := 0
-	now := time.Now()
-	for _, u := range c.units {
-		if u.state == unitLeased && !now.After(u.deadline) {
-			leased++
-		}
-	}
-	writeJSON(w, http.StatusOK, Status{
+	st := Status{
 		Kind:         c.spec.Kind,
 		N:            c.spec.N,
 		ItemsDone:    c.spec.N - c.remaining,
 		ItemsResumed: c.resumed,
 		UnitsTotal:   len(c.units),
 		UnitsDone:    c.unitsDone,
-		UnitsLeased:  leased,
 		Failed:       c.failure != nil,
-	})
+		ElapsedMS:    now.Sub(c.start).Milliseconds(),
+		ItemsPerSec:  c.rate(now),
+	}
+	if st.ItemsPerSec > 0 && c.remaining > 0 {
+		st.ETAMS = int64(float64(c.remaining) / st.ItemsPerSec * 1000)
+	}
+	if c.execCount > 0 {
+		st.UnitMeanMS = c.execSumMS / float64(c.execCount)
+	}
+	currentUnit := make(map[string]int)
+	for _, u := range c.units {
+		if u.state != unitLeased || now.After(u.deadline) {
+			continue
+		}
+		st.UnitsLeased++
+		currentUnit[u.worker] = u.unit.ID
+		age := now.Sub(u.leasedAt).Milliseconds()
+		st.InFlight = append(st.InFlight, UnitStatus{
+			ID:         u.unit.ID,
+			Worker:     u.worker,
+			Items:      u.unit.Range.Len(),
+			LeaseAgeMS: age,
+			Straggler: c.execCount >= stragglerMinSamples &&
+				float64(age) > 2*c.execSumMS/float64(c.execCount),
+		})
+	}
+	sort.Slice(st.InFlight, func(i, j int) bool { return st.InFlight[i].ID < st.InFlight[j].ID })
+	for id, ws := range c.workers {
+		row := WorkerStatus{
+			ID:         id,
+			UnitsDone:  ws.unitsDone,
+			ItemsDone:  ws.itemsDone,
+			LastSeenMS: now.Sub(ws.lastSeen).Milliseconds(),
+			Live:       now.Sub(ws.lastSeen) <= c.ttl,
+		}
+		if unit, ok := currentUnit[id]; ok {
+			u := unit
+			row.CurrentUnit = &u
+		}
+		st.Workers = append(st.Workers, row)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
 }
 
 // readAll drains a request body with a sanity cap: a unit's NDJSON result

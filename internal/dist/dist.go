@@ -13,9 +13,16 @@
 //
 //	POST /v1/lease      {"worker":ID}            -> {"done":bool,"unit":{...},"lease_ttl_ms":N,"retry_after_ms":N}
 //	POST /v1/heartbeat  {"worker":ID,"unit":N}   -> {"ok":true} | 409 {"error":"lease lost"}
-//	POST /v1/result?worker=ID&unit=N  <NDJSON>   -> {"accepted":true}
+//	POST /v1/result?worker=ID&unit=N&exec_ms=T  <NDJSON>  -> {"accepted":true}
 //	POST /v1/fail       {"worker":ID,"unit":N,"error":S} -> {"ok":true}
-//	GET  /v1/status                              -> {"kind","n","items_done","items_resumed","units_total","units_done","units_leased","failed"}
+//	GET  /v1/status                              -> Status (progress, throughput, ETA, per-worker liveness, in-flight units)
+//	GET  /metrics                                -> Prometheus text exposition of the coordinator's dist_* families
+//
+// The worker's optional exec_ms on /v1/result reports the unit's measured
+// execution time; the coordinator falls back to lease age when it is
+// absent, so old workers interoperate. The status probe and the metrics
+// endpoint sit behind the same handler (and therefore the same
+// RequireToken gate) as the work protocol.
 //
 // Liveness is lease-based: a worker holds a unit for LeaseTTL and extends
 // it by heartbeating; when a worker dies mid-lease the lease expires and
@@ -125,11 +132,16 @@ type failRequest struct {
 	Error  string `json:"error"`
 }
 
-// Status is the GET /v1/status snapshot — what an operator polls to watch
-// a long sweep: N is the full item count (a grid batch's total point
-// count), ItemsDone counts completed items including the
-// journal-replayed ItemsResumed, and UnitsLeased is the current in-flight
-// fan-out.
+// Status is the GET /v1/status snapshot — the operator probe for a long
+// sweep: N is the full item count (a grid batch's total point count),
+// ItemsDone counts completed items including the journal-replayed
+// ItemsResumed, and UnitsLeased is the current in-flight fan-out. The
+// derived fields describe this run's pace: ElapsedMS since the
+// coordinator started, ItemsPerSec over the items this run executed
+// (replayed indices are excluded — a resumed run reports the rate of
+// what it actually ran), and ETAMS extrapolating that rate over the
+// remainder. Workers and InFlight break the fleet down per worker and
+// per leased unit, with liveness and straggler flags.
 type Status struct {
 	Kind         string `json:"kind"`
 	N            int    `json:"n"`
@@ -139,4 +151,54 @@ type Status struct {
 	UnitsDone    int    `json:"units_done"`
 	UnitsLeased  int    `json:"units_leased"`
 	Failed       bool   `json:"failed"`
+	// ElapsedMS is the wall time since the coordinator was created.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// ItemsPerSec is the observed completion rate of items this run
+	// executed (0 until the first completion).
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// ETAMS extrapolates ItemsPerSec over the remaining items; omitted
+	// while no rate is observable or when nothing remains.
+	ETAMS int64 `json:"eta_ms,omitempty"`
+	// UnitMeanMS is the mean execution time of completed units — the
+	// baseline the straggler flag compares lease ages against.
+	UnitMeanMS float64 `json:"unit_mean_ms,omitempty"`
+	// Workers lists every worker that ever contacted this coordinator,
+	// sorted by ID.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+	// InFlight lists the currently leased units, sorted by unit ID.
+	InFlight []UnitStatus `json:"in_flight,omitempty"`
+}
+
+// WorkerStatus is one fleet member's row in Status: what it has done and
+// when it was last heard from. A worker is Live while its silence is
+// shorter than the lease TTL — the same threshold that would forfeit its
+// unit.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// UnitsDone / ItemsDone count the work this worker reported.
+	UnitsDone int `json:"units_done"`
+	ItemsDone int `json:"items_done"`
+	// LastSeenMS is how long ago the worker last contacted the
+	// coordinator (lease, heartbeat, result, or failure report).
+	LastSeenMS int64 `json:"last_seen_ms"`
+	Live       bool  `json:"live"`
+	// CurrentUnit is the unit this worker holds a live lease on, absent
+	// when it holds none.
+	CurrentUnit *int `json:"current_unit,omitempty"`
+}
+
+// UnitStatus is one in-flight unit's row in Status.
+type UnitStatus struct {
+	ID     int    `json:"id"`
+	Worker string `json:"worker"`
+	// Items is the number of input items the unit covers.
+	Items int `json:"items"`
+	// LeaseAgeMS is how long the current lease has been outstanding
+	// (across renewals — heartbeats extend the deadline, not this age).
+	LeaseAgeMS int64 `json:"lease_age_ms"`
+	// Straggler flags a unit whose lease age exceeds twice the mean
+	// completed-unit execution time, once at least strugglerMinSamples
+	// units have completed (stragglerMinSamples) — the units to watch
+	// (or the workers to restart) when a sweep's tail drags.
+	Straggler bool `json:"straggler,omitempty"`
 }

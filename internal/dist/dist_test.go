@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -357,7 +358,9 @@ func TestResumeSkipsFinishedUnits(t *testing.T) {
 	}
 }
 
-// TestStatus checks the observability probe.
+// TestStatus checks the observability probe after a completed run: the
+// progress counters, the per-worker accounting, and a positive observed
+// rate with no ETA (nothing remains).
 func TestStatus(t *testing.T) {
 	ctx := t.Context()
 	c, srv := startCoordinator(t, ctx, toySpec(5), Config{Units: 2, LeaseTTL: time.Minute})
@@ -379,9 +382,246 @@ func TestStatus(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	want := Status{Kind: "toy", N: 5, ItemsDone: 5, UnitsTotal: 2, UnitsDone: 2}
-	if st != want {
-		t.Errorf("status = %+v, want %+v", st, want)
+	if st.Kind != "toy" || st.N != 5 || st.ItemsDone != 5 || st.ItemsResumed != 0 ||
+		st.UnitsTotal != 2 || st.UnitsDone != 2 || st.UnitsLeased != 0 || st.Failed {
+		t.Errorf("status = %+v", st)
+	}
+	if st.ItemsPerSec <= 0 {
+		t.Errorf("completed run must report a positive rate, got %v", st.ItemsPerSec)
+	}
+	if st.ETAMS != 0 {
+		t.Errorf("completed run must omit the ETA, got %d", st.ETAMS)
+	}
+	if len(st.InFlight) != 0 {
+		t.Errorf("completed run has in-flight units: %+v", st.InFlight)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "w0" ||
+		st.Workers[0].UnitsDone != 2 || st.Workers[0].ItemsDone != 5 || !st.Workers[0].Live {
+		t.Errorf("workers = %+v", st.Workers)
+	}
+}
+
+// fakeClock is a mutable obs.Clock for pinning the coordinator's derived
+// status arithmetic.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) clock() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// getStatus scrapes GET /v1/status.
+func getStatus(t *testing.T, srv *httptest.Server) Status {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// postToyResult reports one toy unit's lines over raw HTTP, optionally
+// with the exec_ms timing parameter (execMS < 0 omits it).
+func postToyResult(t *testing.T, srv *httptest.Server, worker string, u Unit, execMS int64) {
+	t.Helper()
+	var lines []string
+	for i := u.Range.Lo; i < u.Range.Hi; i++ {
+		lines = append(lines, fmt.Sprintf(`{"i":%d}`, i))
+	}
+	target := fmt.Sprintf("%s/v1/result?worker=%s&unit=%d", srv.URL, worker, u.ID)
+	if execMS >= 0 {
+		target += fmt.Sprintf("&exec_ms=%d", execMS)
+	}
+	resp, err := srv.Client().Post(target, "application/x-ndjson", strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result for unit %d rejected: %s", u.ID, resp.Status)
+	}
+}
+
+// TestStatusMidRun is the acceptance test for the operator probe: it
+// drives a distributed run over raw HTTP under a fake clock, scraping
+// /v1/status and /metrics mid-run, and pins the derived fields —
+// throughput, ETA, per-worker liveness, lease ages, and the straggler
+// flag — plus their monotone progression as units complete.
+func TestStatusMidRun(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(1000, 0)}
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(8),
+		Config{Units: 4, LeaseTTL: time.Minute, Clock: fc.clock})
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+
+	// w0 executes unit 0 in one simulated second.
+	lease := leaseRaw(t, srv, "w0")
+	if lease.Unit == nil || lease.Unit.ID != 0 {
+		t.Fatalf("lease = %+v", lease)
+	}
+	fc.advance(time.Second)
+	postToyResult(t, srv, "w0", *lease.Unit, 1000)
+
+	st := getStatus(t, srv)
+	if st.ItemsDone != 2 || st.ElapsedMS != 1000 {
+		t.Fatalf("after unit 0: %+v", st)
+	}
+	if st.ItemsPerSec != 2 {
+		t.Errorf("rate = %v, want 2 items/s (2 items in 1s)", st.ItemsPerSec)
+	}
+	if st.ETAMS != 3000 {
+		t.Errorf("eta = %dms, want 3000 (6 remaining at 2/s)", st.ETAMS)
+	}
+	if st.UnitMeanMS != 1000 {
+		t.Errorf("unit mean = %vms, want 1000", st.UnitMeanMS)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].LastSeenMS != 0 || !st.Workers[0].Live || st.Workers[0].CurrentUnit != nil {
+		t.Errorf("workers after unit 0 = %+v", st.Workers)
+	}
+	firstDone := st.ItemsDone
+
+	// w0 finishes units 1 and 2 at the same pace; the exec-time baseline
+	// now has stragglerMinSamples observations of ~1000ms each.
+	for i := 0; i < 2; i++ {
+		lease = leaseRaw(t, srv, "w0")
+		if lease.Unit == nil {
+			t.Fatal("no unit leased")
+		}
+		fc.advance(time.Second)
+		postToyResult(t, srv, "w0", *lease.Unit, 1000)
+	}
+
+	// w1 leases the last unit and goes quiet for five simulated seconds —
+	// five times the mean unit time.
+	lease = leaseRaw(t, srv, "w1")
+	if lease.Unit == nil {
+		t.Fatal("w1 got no unit")
+	}
+	slow := *lease.Unit
+	fc.advance(5 * time.Second)
+
+	st = getStatus(t, srv)
+	if st.ItemsDone < firstDone {
+		t.Errorf("items_done went backwards: %d -> %d", firstDone, st.ItemsDone)
+	}
+	if st.ItemsDone != 6 || st.UnitsLeased != 1 {
+		t.Fatalf("mid-run status = %+v", st)
+	}
+	if len(st.InFlight) != 1 {
+		t.Fatalf("in-flight = %+v", st.InFlight)
+	}
+	fl := st.InFlight[0]
+	if fl.ID != slow.ID || fl.Worker != "w1" || fl.Items != 2 || fl.LeaseAgeMS != 5000 {
+		t.Errorf("in-flight unit = %+v", fl)
+	}
+	if !fl.Straggler {
+		t.Error("a 5000ms lease against a 1000ms unit mean must flag as straggler")
+	}
+	var w0, w1 *WorkerStatus
+	for i := range st.Workers {
+		switch st.Workers[i].ID {
+		case "w0":
+			w0 = &st.Workers[i]
+		case "w1":
+			w1 = &st.Workers[i]
+		}
+	}
+	if w0 == nil || w1 == nil {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	if w0.UnitsDone != 3 || w0.ItemsDone != 6 || w0.LastSeenMS != 5000 || !w0.Live {
+		t.Errorf("w0 = %+v", *w0)
+	}
+	if w1.LastSeenMS != 5000 || !w1.Live || w1.CurrentUnit == nil || *w1.CurrentUnit != slow.ID {
+		t.Errorf("w1 = %+v", *w1)
+	}
+
+	// The same state through the Prometheus endpoint.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		`dist_items{kind="toy"} 8`,
+		`dist_items_done{kind="toy"} 6`,
+		`dist_units_leased{kind="toy"} 1`,
+		`dist_workers_live{kind="toy"} 2`,
+		`dist_items_per_second{kind="toy"} 0.75`,
+		`dist_unit_exec_seconds_count{kind="toy"} 3`,
+		`dist_unit_exec_seconds_sum{kind="toy"} 3`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The straggler finally reports; the run completes and the probe
+	// settles monotone at done.
+	postToyResult(t, srv, "w1", slow, 800)
+	st = getStatus(t, srv)
+	if st.ItemsDone != 8 || st.UnitsDone != 4 || st.UnitsLeased != 0 || st.ETAMS != 0 || len(st.InFlight) != 0 {
+		t.Errorf("final status = %+v", st)
+	}
+
+	buf := <-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), toyWant(8); got != want {
+		t.Errorf("instrumented run output:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestStatusExecFallback checks the timing fallback for workers that do
+// not report exec_ms: the lease age stands in, so UnitMeanMS still
+// populates against an old fleet.
+func TestStatusExecFallback(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(1000, 0)}
+	ctx := t.Context()
+	c, srv := startCoordinator(t, ctx, toySpec(4),
+		Config{Units: 2, LeaseTTL: time.Minute, Clock: fc.clock})
+	done := make(chan *bytes.Buffer, 1)
+	go func() { done <- drain(c) }()
+
+	for i := 0; i < 2; i++ {
+		lease := leaseRaw(t, srv, "w0")
+		if lease.Unit == nil {
+			t.Fatal("no unit leased")
+		}
+		fc.advance(2 * time.Second)
+		postToyResult(t, srv, "w0", *lease.Unit, -1) // no exec_ms
+	}
+	st := getStatus(t, srv)
+	if st.UnitMeanMS != 2000 {
+		t.Errorf("lease-age fallback mean = %vms, want 2000", st.UnitMeanMS)
+	}
+	<-done
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }
 

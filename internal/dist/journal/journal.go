@@ -221,6 +221,82 @@ func replay(f *os.File, want Header) (map[int]json.RawMessage, int64, error) {
 	}
 }
 
+// Stats summarizes a checkpoint journal: what it pins (kind, batch hash,
+// item count) and how far it got (distinct completed indices) — the
+// offline twin of the coordinator's /v1/status, computable from the file
+// alone.
+type Stats struct {
+	Kind        string `json:"kind"`
+	BatchSHA256 string `json:"batch_sha256"`
+	// N is the batch size; Done counts distinct completed indices.
+	N    int `json:"n"`
+	Done int `json:"items_done"`
+	// Complete reports Done == N: the journal holds every result line.
+	Complete bool `json:"complete"`
+	// TornTail reports a truncated final line — the signature of a run
+	// killed mid-append. Harmless (a resume discards it), but worth
+	// surfacing to an operator wondering why a run stopped.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Stat scans a journal and counts completed items without retaining a
+// single result line — O(N/8) memory (a seen-index bitset) however large
+// the results are, so it is safe to point at a multi-gigabyte checkpoint.
+// Unlike Replay it needs no expected header: the summary describes
+// whatever batch the file itself pins. Corruption rules match Replay —
+// a torn final line is tolerated (and reported), anything else errors.
+func Stat(path string) (Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Stats{}, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	headLine, err := r.ReadBytes('\n')
+	if err != nil {
+		return Stats{}, fmt.Errorf("journal: unreadable header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(headLine, &h); err != nil {
+		return Stats{}, fmt.Errorf("journal: malformed header: %w", err)
+	}
+	if h.V != Version {
+		return Stats{}, fmt.Errorf("journal: format version %d, want %d", h.V, Version)
+	}
+	if h.N <= 0 {
+		return Stats{}, fmt.Errorf("journal: header item count %d", h.N)
+	}
+
+	st := Stats{Kind: h.Kind, BatchSHA256: h.BatchSHA256, N: h.N}
+	seen := make([]uint64, (h.N+63)/64)
+	offset := int64(len(headLine))
+	for {
+		line, err := r.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return Stats{}, fmt.Errorf("journal: %w", err)
+		}
+		if atEOF {
+			st.TornTail = len(line) > 0
+			st.Complete = st.Done == st.N
+			return st, nil
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return Stats{}, fmt.Errorf("journal: corrupt entry at byte %d: %w", offset, err)
+		}
+		if e.I < 0 || e.I >= h.N {
+			return Stats{}, fmt.Errorf("journal: entry index %d out of range [0, %d)", e.I, h.N)
+		}
+		if seen[e.I/64]&(1<<(e.I%64)) == 0 {
+			seen[e.I/64] |= 1 << (e.I % 64)
+			st.Done++
+		}
+		offset += int64(len(line))
+	}
+}
+
 // Record appends one completed item: its input index and its exact result
 // line (compact JSON, no trailing newline). The append is a single write
 // syscall, so a crash leaves at worst one torn final line — which Resume

@@ -281,6 +281,105 @@ func TestOpenFrontDoor(t *testing.T) {
 	}
 }
 
+// TestStat checks the no-input summary scan: counts are distinct (dups
+// collapse), the header fields come from the file itself, a torn tail is
+// reported rather than fatal, and completion flips exactly at done == n.
+func TestStat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	h := testHeader(3)
+	write(t, path, h, map[int]string{0: `{"name":"a"}`, 2: `{"name":"c"}`})
+
+	st, err := Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{Kind: "test-batch", BatchSHA256: "abc123", N: 3, Done: 2}
+	if st != want {
+		t.Fatalf("Stat = %+v, want %+v", st, want)
+	}
+
+	// A duplicate entry must not inflate the count; completing the last
+	// index flips Complete.
+	j, _, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, []byte(`{"name":"a","again":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(1, []byte(`{"name":"b"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	st, err = Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 3 || !st.Complete {
+		t.Fatalf("after dup + final entry: %+v", st)
+	}
+
+	// A torn final line is reported, not counted, not fatal.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"i":1,"line":{"na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st, err = Stat(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if st.Done != 3 || !st.TornTail {
+		t.Fatalf("torn tail: %+v", st)
+	}
+}
+
+// TestStatErrors checks Stat shares Replay's corruption rules even though
+// it verifies no expected header: bad version, corrupt middle entries, and
+// out-of-range indices are loud errors.
+func TestStatErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	badVersion := filepath.Join(dir, "version.journal")
+	if err := os.WriteFile(badVersion, []byte(`{"v":99,"kind":"k","batch_sha256":"x","n":2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stat(badVersion); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch: %v", err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.journal")
+	write(t, corrupt, testHeader(3), map[int]string{0: `{"name":"a"}`})
+	data, err := os.ReadFile(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("{\"i\":1,\"line\":{\"na\n{\"i\":2,\"line\":{\"name\":\"c\"}}\n")...)
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stat(corrupt); err == nil || !strings.Contains(err.Error(), "corrupt entry") {
+		t.Fatalf("corrupt middle line: %v", err)
+	}
+
+	outOfRange := filepath.Join(dir, "range.journal")
+	write(t, outOfRange, testHeader(2), nil)
+	f, err := os.OpenFile(outOfRange, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"i":7,"line":{"name":"x"}}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Stat(outOfRange); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range index: %v", err)
+	}
+}
+
 func TestHashStability(t *testing.T) {
 	type batch struct {
 		Names []string `json:"names"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/work"
 )
 
@@ -46,6 +47,15 @@ func SpecOf(b work.Batch) (Spec, error) {
 // binary links (cmd/sweepd links scenario and exp, so both register);
 // units of a kind it does not know fail loudly with the registered list.
 func RegistryExecutor(workers int) Executor {
+	return InstrumentedExecutor(workers, nil)
+}
+
+// InstrumentedExecutor is RegistryExecutor with driver metrics: every
+// unit's rebuilt batch runs with work.Options.Metrics set to reg, so a
+// worker process serving reg on a debug listener exposes the same
+// per-item latency histograms and throughput gauges a local run would.
+// A nil reg disables instrumentation (identical to RegistryExecutor).
+func InstrumentedExecutor(workers int, reg *obs.Registry) Executor {
 	return func(ctx context.Context, u Unit) ([][]byte, error) {
 		b, err := work.Unmarshal(u.Kind, u.Payload)
 		if err != nil {
@@ -54,6 +64,6 @@ func RegistryExecutor(workers int) Executor {
 		if got, want := b.Len(), u.Range.Len(); got != want {
 			return nil, fmt.Errorf("dist: unit %d payload carries %d items, range wants %d", u.ID, got, want)
 		}
-		return work.Collect(ctx, b, work.Options{Workers: workers})
+		return work.Collect(ctx, b, work.Options{Workers: workers, Metrics: reg})
 	}
 }

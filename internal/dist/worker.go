@@ -179,7 +179,9 @@ func (w *Worker) runUnit(ctx context.Context, u Unit, ttl time.Duration) error {
 		}
 	}()
 
+	execStart := time.Now()
 	lines, execErr := w.Exec(uctx, u)
+	execMS := time.Since(execStart).Milliseconds()
 	cancel()
 	<-hbDone // after this, lost is safely readable
 
@@ -188,7 +190,7 @@ func (w *Worker) runUnit(ctx context.Context, u Unit, ttl time.Duration) error {
 		if got, want := len(lines), u.Range.Len(); got != want {
 			return fmt.Errorf("dist: worker %s: unit %d produced %d lines, want %d", w.ID, u.ID, got, want)
 		}
-		if err := w.postResult(ctx, u, lines); err != nil {
+		if err := w.postResult(ctx, u, lines, execMS); err != nil {
 			return fmt.Errorf("dist: worker %s: reporting unit %d: %w", w.ID, u.ID, err)
 		}
 		if w.OnUnit != nil {
@@ -227,13 +229,15 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) error {
 	return w.do(req, out)
 }
 
-// postResult streams a unit's NDJSON lines to the coordinator.
-func (w *Worker) postResult(ctx context.Context, u Unit, lines [][]byte) error {
+// postResult streams a unit's NDJSON lines to the coordinator, carrying
+// the measured execution time so the coordinator's per-unit timing stats
+// reflect real work, not lease ages inflated by report latency.
+func (w *Worker) postResult(ctx context.Context, u Unit, lines [][]byte, execMS int64) error {
 	body := bytes.Join(lines, []byte("\n"))
 	body = append(body, '\n')
 	// The worker ID is free-form operator input (-id); escape it so an
 	// '&' or space cannot corrupt the query string.
-	target := fmt.Sprintf("%s/v1/result?worker=%s&unit=%d", w.Coordinator, url.QueryEscape(w.ID), u.ID)
+	target := fmt.Sprintf("%s/v1/result?worker=%s&unit=%d&exec_ms=%d", w.Coordinator, url.QueryEscape(w.ID), u.ID, execMS)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/dist/journal"
+	"repro/internal/profile"
 	"repro/internal/sweep"
 	"repro/internal/work"
 )
@@ -173,6 +174,16 @@ func VerifyScale(kind string, env json.RawMessage) error {
 		return fmt.Errorf("exp: environment scale mismatch: coordinator declares %v, this worker runs %v (align -quick/-accesses/-fidelity across the fleet)", want, got)
 	}
 	return nil
+}
+
+// DescribeFidelity implements work.FidelityDescriber: the environment
+// scale's miss-matrix fidelity ("" renders as its effective meaning,
+// trace) — a metrics label only.
+func (b *Batch) DescribeFidelity() string {
+	if f := b.scale().Fidelity; f != "" {
+		return f
+	}
+	return profile.FidelityTrace
 }
 
 // RunItem executes experiment i against the batch's environment and

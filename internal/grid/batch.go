@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist/journal"
+	"repro/internal/profile"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/work"
@@ -156,6 +157,33 @@ func (b *Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
 		return nil, fmt.Errorf("grid point %q: %w", cfg.Name, err)
 	}
 	return res.NDJSONLine()
+}
+
+// DescribeFidelity implements work.FidelityDescriber: the single
+// miss-matrix fidelity every point of the grid shares, or "mixed" when a
+// fidelity axis varies it — a metrics label only, never part of the wire
+// form or the content hash.
+func (b *Batch) DescribeFidelity() string {
+	eff := func(f string) string {
+		if f == "" {
+			return profile.FidelityTrace
+		}
+		return f
+	}
+	fids := b.grid.Axes.Fidelity
+	switch len(fids) {
+	case 0:
+		return eff(b.grid.Base.Fidelity)
+	case 1:
+		return eff(fids[0])
+	}
+	fid := eff(fids[0])
+	for _, f := range fids[1:] {
+		if eff(f) != fid {
+			return "mixed"
+		}
+	}
+	return fid
 }
 
 // MarshalRange renders the wire payload for the batch-relative range

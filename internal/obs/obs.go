@@ -1,0 +1,457 @@
+// Package obs is the repository's zero-dependency metrics layer: labeled
+// counters, gauges, and histograms with a Prometheus text-format endpoint
+// (Handler) and a structured snapshot API for tests. Every execution layer
+// — the unified work driver, the dist coordinator, the long-running CLIs —
+// records into a Registry; nothing here ever touches result bytes, so the
+// repository's byte-identical-output invariant is untouched by
+// instrumentation (the equivalence suite pins this with metrics enabled).
+//
+// The hot path is allocation-free after setup: a Vec resolves its labeled
+// series once (With), and the returned handle records with a few atomic
+// operations — cheap enough that work.Run instruments every item
+// (BenchmarkObsOverhead in internal/work keeps the driver overhead honest).
+// Reads (Snapshot, Handler) are lock-light and safe to call concurrently
+// with writers; a scrape observes each series at some point during the
+// scrape, not a single global instant, which is the standard contract for
+// lock-free metrics.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the shared time source for throughput math: the CLIs' progress
+// tickers, the run manifests, and the dist coordinator's ETA all measure
+// with the same kind of clock so their rates agree. A nil Clock means
+// time.Now; tests inject a fake to pin rate and ETA arithmetic.
+type Clock func() time.Time
+
+// Now returns the clock's current time, defaulting to time.Now for a nil
+// Clock — callers hold a Clock field and call Now without nil checks.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}
+
+// DefBuckets is the default histogram bucket ladder: exponential upper
+// bounds in seconds from 100µs to ~4 minutes, sized for this repository's
+// spread — analytical grid points run ~0.4ms, trace-driven points ~75ms,
+// and whole distributed work units run seconds to minutes.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 240,
+}
+
+// metric families are one of three types; the constants double as the
+// TYPE strings in the exposition format.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry holds metric families keyed by name. Registration is
+// idempotent: asking for an existing family with the same type, label
+// names, and (for histograms) buckets returns the same Vec, so layers
+// that share a registry (work.Run called per refine phase, the dist
+// executor per unit) re-resolve their instruments cheaply. Re-registering
+// a name with a different signature panics — that is a programming error,
+// not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histograms only; sorted ascending, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one labeled instance of a family. Counters and gauges use
+// bits alone (counter: integer count; gauge: float64 bits); histograms
+// use counts/sumNanos/count. Atomics keep the record path lock-free.
+type series struct {
+	values []string
+
+	bits atomic.Uint64
+	// fn, when non-nil, backs a gauge evaluated at read time (WithFunc)
+	// instead of a stored value — zero hot-path cost for derived gauges
+	// like in-flight counts and rates.
+	fn func() float64
+
+	counts []atomic.Uint64 // per-bucket (non-cumulative), +Inf last
+	// sumNanos accumulates the observation sum in fixed point at 1e-9
+	// resolution: a single atomic add per Observe instead of a
+	// compare-and-swap loop on float bits, which matters under worker
+	// contention on the driver's per-item histogram. Capacity is ±9.2e9
+	// in observed units — centuries of second-scale latencies.
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+// lookup returns the family registered under name, creating it on first
+// use and verifying the signature on every later one.
+func (r *Registry) lookup(name, help, typ string, labels []string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: metric name must be non-empty")
+	}
+	for _, l := range labels {
+		if l == "" {
+			panic(fmt.Sprintf("obs: metric %s has an empty label name", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.families == nil {
+		r.families = make(map[string]*family)
+	}
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different signature", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// with resolves (creating on first use) the series for the given label
+// values. The returned handle is stable: callers resolve once and record
+// through atomics thereafter.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{values: append([]string(nil), values...)}
+	if f.typ == typeHistogram {
+		s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.series[key] = s
+	return s
+}
+
+// seriesKey joins label values unambiguously (a raw join would collide
+// on values containing the separator).
+func seriesKey(values []string) string {
+	key := ""
+	for _, v := range values {
+		key += fmt.Sprintf("%d:%s", len(v), v)
+	}
+	return key
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or re-resolves) a counter family: a monotonically
+// increasing integer count per label combination.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers (or re-resolves) a gauge family: an arbitrary float64
+// that goes up and down per label combination.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers (or re-resolves) a histogram family with the given
+// bucket upper bounds (nil means DefBuckets; +Inf is implicit and must
+// not be listed). Bounds must be sorted strictly ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i, ub := range buckets {
+		if math.IsInf(ub, +1) {
+			panic(fmt.Sprintf("obs: histogram %s lists +Inf explicitly; it is implicit", name))
+		}
+		if i > 0 && buckets[i-1] >= ub {
+			panic(fmt.Sprintf("obs: histogram %s buckets are not strictly ascending", name))
+		}
+	}
+	return &HistogramVec{f: r.lookup(name, help, typeHistogram, labels, buckets)}
+}
+
+// CounterVec is a counter family; With resolves one labeled counter.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label
+// name, in registration order). Resolve once, record many.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{s: v.f.with(values)}
+}
+
+// Counter is one labeled series of a counter family.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.s.bits.Add(1) }
+
+// Add adds n (n must be non-negative; counters are monotone).
+func (c *Counter) Add(n uint64) { c.s.bits.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.s.bits.Load() }
+
+// GaugeVec is a gauge family; With resolves one labeled gauge.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{s: v.f.with(values)}
+}
+
+// WithFunc binds the series for the given label values to a read-time
+// callback: Snapshot (and therefore every scrape) reports fn() instead
+// of a stored value, so derived gauges — in-flight counts, queue depth,
+// rates — cost nothing on the hot path. Re-binding the same series
+// replaces the callback (a driver run rebinding its gauges supersedes
+// the previous run's). fn runs during Snapshot and must not call back
+// into the registry.
+func (v *GaugeVec) WithFunc(fn func() float64, values ...string) {
+	s := v.f.with(values)
+	v.f.mu.Lock()
+	s.fn = fn
+	v.f.mu.Unlock()
+}
+
+// Gauge is one labeled series of a gauge family.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative to subtract) with a CAS loop, safe for
+// concurrent adders.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// HistogramVec is a histogram family; With resolves one labeled
+// histogram.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{s: v.f.with(values), buckets: v.f.buckets}
+}
+
+// Histogram is one labeled series of a histogram family.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one value: a binary search picks the bucket, then
+// three atomic adds (bucket count, fixed-point sum, total count).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with ub >= v
+	h.s.counts[i].Add(1)
+	h.s.sumNanos.Add(int64(math.Round(v * 1e9)))
+	h.s.count.Add(1)
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// Sum reads the sum of observed values (1e-9 resolution; see series).
+func (h *Histogram) Sum() float64 { return float64(h.s.sumNanos.Load()) / 1e9 }
+
+// Snapshot is a point-in-time copy of a registry, ordered
+// deterministically (families by name, series by label values) — the
+// test-facing read API and the source the exposition handler renders
+// from.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// FamilySnapshot is one metric family in a snapshot.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Type   string // "counter", "gauge", "histogram"
+	Labels []string
+	Series []SeriesSnapshot
+}
+
+// SeriesSnapshot is one labeled series. Value carries counters (as a
+// float) and gauges; Histogram is set for histogram families.
+type SeriesSnapshot struct {
+	LabelValues []string
+	Value       float64
+	Histogram   *HistogramSnapshot
+}
+
+// HistogramSnapshot is one histogram series: cumulative bucket counts
+// (the +Inf bucket last, equal to Count), the sum of observations, and
+// their total count.
+type HistogramSnapshot struct {
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to UpperBound.
+type Bucket struct {
+	UpperBound float64 // +Inf for the last bucket
+	Count      uint64
+}
+
+// LabelsOf zips a series' label values with its family's label names.
+func (f *FamilySnapshot) LabelsOf(s *SeriesSnapshot) map[string]string {
+	m := make(map[string]string, len(f.Labels))
+	for i, name := range f.Labels {
+		m[name] = s.LabelValues[i]
+	}
+	return m
+}
+
+// Snapshot copies the registry's current state. Safe to call while
+// writers record; each series is read at some instant during the call.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Type:   f.typ,
+			Labels: append([]string(nil), f.labels...),
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{LabelValues: append([]string(nil), s.values...)}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = float64(s.bits.Load())
+			case typeGauge:
+				if s.fn != nil {
+					ss.Value = s.fn()
+				} else {
+					ss.Value = math.Float64frombits(s.bits.Load())
+				}
+			case typeHistogram:
+				hs := &HistogramSnapshot{
+					Sum:     float64(s.sumNanos.Load()) / 1e9,
+					Count:   s.count.Load(),
+					Buckets: make([]Bucket, len(f.buckets)+1),
+				}
+				cum := uint64(0)
+				for i := range s.counts {
+					cum += s.counts[i].Load()
+					ub := math.Inf(+1)
+					if i < len(f.buckets) {
+						ub = f.buckets[i]
+					}
+					hs.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+				}
+				ss.Histogram = hs
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Family returns the named family from the snapshot, or nil.
+func (s Snapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Get returns the series with exactly the given label values from the
+// family, or nil.
+func (f *FamilySnapshot) Get(values ...string) *SeriesSnapshot {
+	if f == nil {
+		return nil
+	}
+	for i := range f.Series {
+		if equalStrings(f.Series[i].LabelValues, values) {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

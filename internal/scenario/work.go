@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist/journal"
+	"repro/internal/profile"
 	"repro/internal/sweep"
 	"repro/internal/work"
 )
@@ -62,6 +63,26 @@ func (b Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
 		return nil, fmt.Errorf("scenario %q: %w", b.Scenarios[i].Name, err)
 	}
 	return res.NDJSONLine()
+}
+
+// DescribeFidelity implements work.FidelityDescriber: the miss-matrix
+// fidelity all scenarios share ("" renders as its effective meaning,
+// trace), or "mixed" when they disagree — a metrics label only, never
+// part of the wire form or the content hash.
+func (b Batch) DescribeFidelity() string {
+	fid := ""
+	for i := range b.Scenarios {
+		f := b.Scenarios[i].Fidelity
+		if f == "" {
+			f = profile.FidelityTrace
+		}
+		if i == 0 {
+			fid = f
+		} else if f != fid {
+			return "mixed"
+		}
+	}
+	return fid
 }
 
 // MarshalRange renders the ordinary batch schema ({"scenarios": [...]})

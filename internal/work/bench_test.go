@@ -9,6 +9,8 @@ package work
 import (
 	"io"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 const benchItems = 512
@@ -43,4 +45,28 @@ func BenchmarkCollect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObsOverhead prices Options.Metrics on the driver hot path:
+// the same parallel streamed run bare and instrumented. Toy items cost
+// nearly nothing, so this is the worst case — the instrumentation
+// (sampled latency timing plus a handful of atomic adds per item) is
+// priced against the driver's own per-item overhead, not against real
+// workloads whose items run 0.4ms–75ms. The acceptance bar is <5%
+// sec/op between the two sub-benchmarks; CI's bench-regression gate
+// then watches both.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		benchRun(b, 4)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		b.ReportAllocs()
+		batch := toy(benchItems)
+		reg := obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if err := Run(b.Context(), batch, Options{Workers: 4, Metrics: reg}, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/work"
 )
@@ -125,6 +126,22 @@ func TestAllKindsEquivalentAcrossExecutionShapes(t *testing.T) {
 			})
 			t.Run("distributed", func(t *testing.T) {
 				diffBytes(t, distributed(t, b), seq.Bytes())
+			})
+			t.Run("metrics-streamed", func(t *testing.T) {
+				// Instrumentation is observation-only: the same parallel
+				// run with a live registry emits the same bytes, and the
+				// registry ends up with one completion per item under the
+				// kind's declared fidelity label.
+				reg := obs.NewRegistry()
+				var par bytes.Buffer
+				if err := work.Run(t.Context(), b, work.Options{Workers: 4, Metrics: reg}, &par); err != nil {
+					t.Fatal(err)
+				}
+				diffBytes(t, par.Bytes(), seq.Bytes())
+				c := reg.Snapshot().Family(work.MetricItemsTotal).Get(kind, work.FidelityOf(b))
+				if c == nil || c.Value != float64(b.Len()) {
+					t.Fatalf("%s{%s,%s} = %+v, want %d", work.MetricItemsTotal, kind, work.FidelityOf(b), c, b.Len())
+				}
 			})
 		})
 	}
