@@ -4,7 +4,7 @@ GO ?= go
 # top of the file.
 .DEFAULT_GOAL := ci
 
-.PHONY: help ci fmt tidy vet staticcheck build test race bench bench-compile bench-snapshot cover golden
+.PHONY: help ci fmt tidy vet staticcheck lint build test race bench bench-compile bench-snapshot cover golden
 
 # The perf-snapshot file for the current PR and the packages it records.
 # Bump SNAPSHOT per PR (BENCH_7.json, ...) so the repo keeps the
@@ -17,13 +17,14 @@ SNAPSHOT_PKGS = ./internal/sweep ./internal/work ./internal/profile ./internal/g
 help: ## list the Makefile verbs and what they do
 	@grep -E '^[a-zA-Z_-]+:.*?## ' $(MAKEFILE_LIST) | awk 'BEGIN {FS = ":.*?## "}; {printf "  %-14s %s\n", $$1, $$2}'
 
-# ci is the gate: formatting, module tidiness, vet, staticcheck, build,
-# race-enabled tests, and a one-iteration pass over every benchmark as a
-# compile-and-run check — the same chain .github/workflows/ci.yml runs,
-# so a green `make ci` means a green CI run. (CI's benchmark-regression
-# gate needs a merge-base to diff against and only runs on pull
-# requests; see .github/workflows/ci.yml.)
-ci: fmt tidy vet staticcheck build race bench-compile ## the full CI gate (fmt + tidy + vet + staticcheck + build + race tests + bench compile)
+# ci is the gate: formatting, module tidiness, vet, staticcheck, the
+# repository's own analyzer suite, build, race-enabled tests, and a
+# one-iteration pass over every benchmark as a compile-and-run check —
+# the same chain .github/workflows/ci.yml runs, so a green `make ci`
+# means a green CI run. (CI's benchmark-regression gate needs a
+# merge-base to diff against and only runs on pull requests; see
+# .github/workflows/ci.yml.)
+ci: fmt tidy vet staticcheck lint build race bench-compile ## the full CI gate (fmt + tidy + vet + staticcheck + repolint + build + race tests + bench compile)
 
 # fmt fails listing the files gofmt would rewrite, same as the CI step.
 fmt: ## fail when gofmt would change any file
@@ -48,6 +49,15 @@ staticcheck: ## lint with staticcheck when installed (CI always runs it)
 
 vet: ## go vet every package
 	$(GO) vet ./...
+
+# lint runs cmd/repolint, the repository's own go/analysis-style suite
+# (internal/analysis): the determinism and architecture invariants —
+# fan-out, map order, clocks, float formatting, context flow, fixture
+# coverage — as compile-time checks. Zero diagnostics is the contract;
+# intentional exceptions carry //lint:allow <analyzer> <reason> in the
+# code they except.
+lint: ## run the repolint determinism-invariant suite (zero diagnostics required)
+	$(GO) run ./cmd/repolint ./...
 
 build: ## compile every package and binary
 	$(GO) build ./...

@@ -72,11 +72,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "benchgate: no sec/op comparison rows found; nothing to gate")
 		return 0
 	}
+	thr := strconv.FormatFloat(*threshold, 'f', -1, 64)
 	if len(regressions) == 0 {
-		fmt.Fprintf(stdout, "benchgate: %d sec/op rows compared, no significant regression above %g%%\n", compared, *threshold)
+		fmt.Fprintf(stdout, "benchgate: %d sec/op rows compared, no significant regression above %s%%\n", compared, thr)
 		return 0
 	}
-	fmt.Fprintf(stdout, "benchgate: %d significant sec/op regression(s) above %g%%:\n", len(regressions), *threshold)
+	fmt.Fprintf(stdout, "benchgate: %d significant sec/op regression(s) above %s%%:\n", len(regressions), thr)
 	for _, x := range regressions {
 		fmt.Fprintf(stdout, "  %s  %s  +%.2f%%\n", x.pkg, x.name, x.delta)
 	}

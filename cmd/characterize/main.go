@@ -79,7 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			for _, s := range ss {
-				fmt.Fprintf(stdout, "%s,%g,%g,%g,%g,%g,%g,%g\n",
+				fmt.Fprintf(stdout, "%s,%g,%g,%g,%g,%g,%g,%g\n", //lint:allow floatfmt device-scale CSV (leakage ~1e-9 W) needs scientific notation; the -samples schema is a published contract
 					p, s.Vth, s.ToxA, s.LeakW, s.SubW, s.GateW, s.DelayS, s.EnergyJ)
 			}
 		}

@@ -43,6 +43,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -303,8 +304,13 @@ func runStream(ctx context.Context, env *exp.Env, exps []exp.Experiment, so stre
 				// indices — the journal line is the only place the CSV
 				// still exists.
 				if so.outdir != "" {
-					for _, line := range done {
-						if err := writeSidecar(so.outdir, line); err != nil {
+					idx := make([]int, 0, len(done))
+					for i := range done {
+						idx = append(idx, i)
+					}
+					sort.Ints(idx)
+					for _, i := range idx {
+						if err := writeSidecar(so.outdir, done[i]); err != nil {
 							fmt.Fprintln(stderr, "figures:", err)
 							return 1, err
 						}

@@ -75,6 +75,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -352,8 +353,13 @@ func runWorkBatch(ctx context.Context, b work.Batch, o options, fr *grid.Frontie
 	if o.stream {
 		var frErr error
 		if fr != nil {
-			for i, line := range opts.Done {
-				if err := fr.Add(i, line); err != nil {
+			idx := make([]int, 0, len(opts.Done))
+			for i := range opts.Done {
+				idx = append(idx, i)
+			}
+			sort.Ints(idx)
+			for _, i := range idx {
+				if err := fr.Add(i, opts.Done[i]); err != nil {
 					runErr = err
 					fmt.Fprintln(stderr, "scenario:", err)
 					return 1

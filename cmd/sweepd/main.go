@@ -337,6 +337,7 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	defer srv.Close()
 	// Serve returns ErrServerClosed when the deferred Close runs; the
 	// coordinator's Wait is the run's real verdict.
+	//lint:allow nofanout HTTP accept loop must not block the result drain; lifecycle is owned by the deferred Close, not the sweep engine
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Fprintf(stderr, "sweepd: serving %d %s on http://%s\n", spec.N, noun, ln.Addr())
 

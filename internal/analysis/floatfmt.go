@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// FloatFmt is the PR-6 bug class as a rule: bare %v and %g render floats
+// in shortest form, which flips between decimal and scientific notation
+// on magnitude ("1.2e+06" for a 1.2M-picosecond AMAT budget) — formatting
+// drift that silently changes point names, NDJSON lines, and journal
+// entries. Floats that become text go through fixed-point formatting
+// (strconv.FormatFloat(v, 'f', ...)) or a precision-qualified verb chosen
+// on purpose: %.3g pins its width and form, so it passes, while bare %g
+// does not. The analyzer flags fmt calls that hand a float to a bare
+// %v/%g/%G, and floats passed to the verb-less print family (which render
+// as %v). fmt.Errorf is deliberately out of scope — error text is
+// diagnostics, not result data.
+var FloatFmt = &Analyzer{
+	Name: "floatfmt",
+	Doc: "no bare %v/%g formatting of floats (and no floats through the " +
+		"verb-less fmt print family); use strconv fixed-point or a " +
+		"precision-qualified verb",
+	Run: runFloatFmt,
+}
+
+// fmtFormatFuncs maps the format-taking fmt functions to the index of
+// their format-string argument.
+var fmtFormatFuncs = map[string]int{
+	"Printf": 0, "Sprintf": 0, "Fprintf": 1, "Appendf": 1,
+}
+
+// fmtValueFuncs maps the verb-less fmt print functions to the index of
+// their first value argument; every value renders as %v.
+var fmtValueFuncs = map[string]int{
+	"Print": 0, "Println": 0, "Sprint": 0, "Sprintln": 0,
+	"Fprint": 1, "Fprintln": 1, "Append": 1, "Appendln": 1,
+}
+
+func runFloatFmt(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Ellipsis.IsValid() {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgSel(pass.Info, sel, "fmt")
+			if !ok {
+				return true
+			}
+			if idx, ok := fmtFormatFuncs[name]; ok && idx < len(call.Args) {
+				checkFormatCall(pass, name, call, idx)
+			} else if idx, ok := fmtValueFuncs[name]; ok {
+				for _, arg := range call.Args[min(idx, len(call.Args)):] {
+					if t, ok := pass.Info.Types[arg]; ok && isFloat(t.Type) {
+						pass.Reportf(arg.Pos(), "float rendered by fmt.%s's default %%v (shortest form, drifts to scientific notation); use strconv.FormatFloat(v, 'f', ...)", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFormatCall maps format verbs to arguments and flags %v/%g/%G
+// applied to floats. Explicit argument indexes ("%[2]v") are rare enough
+// that the call is skipped rather than mis-mapped.
+func checkFormatCall(pass *Pass, name string, call *ast.CallExpr, fmtIdx int) {
+	tv, ok := pass.Info.Types[call.Args[fmtIdx]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	arg := fmtIdx + 1
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		// Flags, width, precision; '*' consumes an argument.
+		for i < len(format) && strings.ContainsRune("+-# 0'", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return // explicit argument index: skip the whole call
+		}
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				arg++
+			}
+			i++
+		}
+		hasPrecision := false
+		if i < len(format) && format[i] == '.' {
+			hasPrecision = true
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					arg++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			return
+		}
+		verb := format[i]
+		i++
+		if verb == '%' {
+			continue
+		}
+		// A precision-qualified %.3g pins width and form — that is a
+		// deliberate rendering choice, not drift.
+		flagged := verb == 'v' || ((verb == 'g' || verb == 'G') && !hasPrecision)
+		if flagged && arg < len(call.Args) {
+			if t, ok := pass.Info.Types[call.Args[arg]]; ok && isFloat(t.Type) {
+				pass.Reportf(call.Args[arg].Pos(), "float formatted with %%%c in fmt.%s (shortest form, drifts to scientific notation); use strconv.FormatFloat(v, 'f', ...) or an explicit fixed verb", verb, name)
+			}
+		}
+		arg++
+	}
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder targets the canonical Go determinism leak: map iteration
+// order. Ranging over a map is fine when each iteration is independent
+// (indexing another map, deleting keys); it is a bug the moment the body
+// threads iteration order into anything ordered — appending to a slice,
+// writing output, or accumulating a non-commutative reduction (float and
+// string folds depend on order; integer counters do not and are allowed).
+// The approved shape is collect-then-sort: append the keys (or values)
+// and sort the slice before it is used, which the analyzer recognizes by
+// finding a sort.*/slices.Sort* call on the appended slice in the
+// statements after the loop. Everything else needs sorted-key iteration
+// or an explicit lint:allow with the argument for why order cannot leak.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration must not feed slices, output, or order-sensitive " +
+		"reductions; collect and sort, or iterate sorted keys",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		walkWithStack(f, func(stack []ast.Node, n ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			checkMapRange(pass, stack, rs)
+		})
+	}
+}
+
+// checkMapRange inspects one map-range body for order leaks.
+func checkMapRange(pass *Pass, stack []ast.Node, rs *ast.RangeStmt) {
+	type appendSite struct {
+		pos    token.Pos
+		target ast.Expr // nil when the append result is not assigned
+	}
+	var appends []appendSite
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// Compound assignment: a reduction. Integer accumulation is
+				// commutative and exact, so only order-sensitive element
+				// types (floats, complex, strings) are findings.
+				for _, lhs := range n.Lhs {
+					t := pass.Info.Types[lhs].Type
+					if t == nil {
+						continue
+					}
+					if b, ok := t.Underlying().(*types.Basic); ok &&
+						b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0 {
+						pass.Reportf(n.Pos(), "map iteration feeds an order-sensitive %s reduction; iterate sorted keys", b.Name())
+					}
+				}
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass.Info, call) {
+					site := appendSite{pos: call.Pos()}
+					if i < len(n.Lhs) {
+						site.target = n.Lhs[i]
+					}
+					appends = append(appends, site)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass.Info, n) {
+				// Assigned appends are collected by the AssignStmt case
+				// above; reaching one here means the result goes straight
+				// into another call, which nothing can sort afterwards.
+				if !isAssignedAppend(rs.Body, n) {
+					appends = append(appends, appendSite{pos: n.Pos()})
+				}
+				return true
+			}
+			if name, ok := outputCall(pass.Info, n); ok {
+				pass.Reportf(n.Pos(), "map iteration writes output via %s; iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+
+	for _, site := range appends {
+		if site.target != nil {
+			if declaredWithin(pass.Info, site.target, rs.Body) {
+				// A slice local to the iteration: its order is per-element,
+				// not per-map, so nothing leaks.
+				continue
+			}
+			if sortedAfter(pass.Info, stack, rs, site.target) {
+				continue
+			}
+			pass.Reportf(site.pos, "map iteration appends to %s without sorting it afterwards; sort the slice or iterate sorted keys", types.ExprString(site.target))
+			continue
+		}
+		pass.Reportf(site.pos, "map iteration appends in iteration order; collect into a slice and sort it, or iterate sorted keys")
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isAssignedAppend reports whether the append call is the direct RHS of
+// an assignment somewhere in body (those are handled with their target).
+func isAssignedAppend(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	assigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			if rhs == call {
+				assigned = true
+			}
+		}
+		return !assigned
+	})
+	return assigned
+}
+
+// outputCall recognizes calls that emit bytes somewhere ordered: the fmt
+// print family and the conventional writer/encoder methods.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if name, ok := isPkgSel(info, sel, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		// Only flag method calls on real values, not package functions
+		// (os.Encode does not exist, but keep the guard uniform).
+		if pkgOf(info, sel) == nil {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// declaredWithin reports whether expr is an identifier whose declaration
+// lies inside body.
+func declaredWithin(info *types.Info, expr ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
+
+// sortedAfter reports whether, in the statements following the range
+// loop in its enclosing block, target is passed to a sort call
+// (sort.Anything or slices.Sort*): the collect-then-sort idiom.
+func sortedAfter(info *types.Info, stack []ast.Node, rs *ast.RangeStmt, target ast.Expr) bool {
+	// Find the innermost enclosing block and the child statement holding
+	// the range loop.
+	var block *ast.BlockStmt
+	var after []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		b, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for j, stmt := range b.List {
+			if stmt.Pos() <= rs.Pos() && rs.End() <= stmt.End() {
+				block = b
+				after = b.List[j+1:]
+				break
+			}
+		}
+		if block != nil {
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	want := types.ExprString(target)
+	found := false
+	for _, stmt := range after {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			p := pkgOf(info, sel)
+			if p == nil {
+				return true
+			}
+			isSort := p.Path() == "sort" ||
+				(p.Path() == "slices" && len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort")
+			if !isSort {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					arg = u.X
+				}
+				if types.ExprString(arg) == want {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithStack does a depth-first walk of root, calling fn with the
+// ancestor stack (outermost first, not including n itself) at every node.
+func walkWithStack(root ast.Node, fn func(stack []ast.Node, n ast.Node)) {
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		fn(stack, n)
+		stack = append(stack, n)
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return m == n
+			}
+			walk(m)
+			return false
+		})
+		stack = stack[:len(stack)-1]
+	}
+	walk(root)
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoClock enforces the injected-time discipline PR 8 established: result
+// paths never read the wall clock or the process-global RNG directly.
+// time.Now/Since/Until belong to internal/cli and internal/obs (which own
+// obs.Clock, the injectable source every rate and ETA computation shares)
+// and to the cmd binaries that sit above the result path; everything else
+// takes a Clock. Likewise the global math/rand state is process-shared
+// and ordering-sensitive — randomized work re-seeds a *rand.Rand per
+// shard (one generator per L1 pass, the invariant the sweep engine's
+// byte-identical guarantee rests on), so only the constructors
+// (rand.New, rand.NewSource, ...) are allowed.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc: "no direct time.Now/Since/Until or global math/rand outside " +
+		"internal/cli, internal/obs, and cmd; inject obs.Clock and use " +
+		"per-shard seeded *rand.Rand instances",
+	Exempt: []string{"internal/cli", "internal/obs", "cmd"},
+	Run:    runNoClock,
+}
+
+// randConstructors are the math/rand functions that build isolated,
+// seedable state instead of touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgSel(pass.Info, sel, "time"); ok {
+				switch name {
+				case "Now", "Since", "Until":
+					pass.Reportf(sel.Pos(), "direct time.%s; inject an obs.Clock so tests and replays control time", name)
+				}
+				return true
+			}
+			p := pkgOf(pass.Info, sel)
+			if p == nil || (p.Path() != "math/rand" && p.Path() != "math/rand/v2") {
+				return true
+			}
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if !randConstructors[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "global math/rand.%s is process-shared state; use a per-shard seeded *rand.Rand", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,10 @@
+// Command tool sits on an exempt path: binaries own the process root
+// context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,38 @@
+// Package lib is outside the execution stack: rule 1 (no conjured
+// roots) still applies, rule 2 (looping exports take ctx) does not.
+package lib
+
+import "context"
+
+// Visit is context-aware.
+func Visit(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Walk loops over context-aware work without a context parameter; only
+// execution-stack packages are held to rule 2, so nothing is flagged.
+func Walk(ctx context.Context, items []int) int {
+	total := 0
+	for _, n := range items {
+		total += Visit(ctx, n)
+	}
+	return total
+}
+
+// Sweep has the rule-2 shape but lives outside the stack: quiet.
+func Sweep(j Runner) int {
+	total := 0
+	for i := 0; i < j.N; i++ {
+		total += Visit(j.Ctx, i)
+	}
+	return total
+}
+
+// Runner mirrors the stored-context shape from the grid fixture.
+type Runner struct {
+	Ctx context.Context
+	N   int
+}

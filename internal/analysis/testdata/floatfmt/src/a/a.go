@@ -1,0 +1,49 @@
+// Package a seeds floatfmt violations: floats handed to shortest-form
+// verbs, next to the pinned formats that pass.
+package a
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Name drifts: bare %g flips to scientific notation on magnitude.
+func Name(x float64) string {
+	return fmt.Sprintf("p%g", x) // want `float formatted with %g`
+}
+
+// Label drifts the same way through %v.
+func Label(x float64) string {
+	return fmt.Sprintf("x=%v", x) // want `float formatted with %v`
+}
+
+// Show drifts through the verb-less print family.
+func Show(x float64) {
+	fmt.Println("x", x) // want `float rendered by fmt\.Println's default %v`
+}
+
+// Fixed is the approved shape.
+func Fixed(x float64) string {
+	return strconv.FormatFloat(x, 'f', 3, 64)
+}
+
+// Pinned is allowed: a precision-qualified verb is a deliberate choice.
+func Pinned(x float64) string {
+	return fmt.Sprintf("%.3g", x)
+}
+
+// Verbed is allowed: an explicit fixed-point verb.
+func Verbed(x float64) {
+	fmt.Fprintf(os.Stdout, "%8.3f\n", x)
+}
+
+// Ints is allowed: %v only drifts for floats.
+func Ints(n int) string {
+	return fmt.Sprintf("%v", n)
+}
+
+// Starred tracks '*' width arguments when mapping verbs to values.
+func Starred(w int, x float64) string {
+	return fmt.Sprintf("%*d %g", w, 1, x) // want `float formatted with %g`
+}

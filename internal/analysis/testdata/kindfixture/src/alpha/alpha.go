@@ -1,0 +1,9 @@
+// Package alpha registers its kind with a string literal that the
+// fixture table carries verbatim: covered.
+package alpha
+
+import "work"
+
+func init() {
+	work.Register("alpha", nil)
+}

@@ -1,0 +1,9 @@
+// Package beta registers a kind the fixture table does not carry: the
+// gap the analyzer exists to catch.
+package beta
+
+import "work"
+
+func init() {
+	work.Register("beta", nil) // want `registered kind "beta" has no entry in the cross-kind equivalence suite's fixtures\(\) table`
+}

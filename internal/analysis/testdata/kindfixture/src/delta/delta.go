@@ -1,0 +1,10 @@
+// Package delta registers with a runtime-computed kind, which no static
+// fixture check can cover.
+package delta
+
+import "work"
+
+// Install registers under a caller-chosen kind.
+func Install(kind string) {
+	work.Register(kind, nil) // want `work\.Register kind must be a string constant`
+}

@@ -1,0 +1,12 @@
+// Package gamma registers through its exported constant; the fixture
+// table keys on the qualified constant (gamma.WorkKind): covered.
+package gamma
+
+import "work"
+
+// WorkKind tags gamma's journal entries.
+const WorkKind = "gamma"
+
+func init() {
+	work.Register(WorkKind, nil)
+}

@@ -1,0 +1,12 @@
+package work
+
+// fixtures mirrors the real equivalence suite's table: one entry per
+// registered kind, keyed by literal or by the registering package's
+// exported constant. The kindfixture analyzer reads this file
+// syntactically, so the unresolved gamma qualifier is fine.
+func fixtures() map[string]Batch {
+	return map[string]Batch{
+		"alpha":        nil,
+		gamma.WorkKind: nil,
+	}
+}

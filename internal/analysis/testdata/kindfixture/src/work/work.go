@@ -1,0 +1,17 @@
+// Package work is a fixture stand-in for the real registry: just enough
+// for registering packages to call Register and for the test file to
+// hold a fixtures() table.
+package work
+
+// Batch is the registry's common work shape.
+type Batch interface{ Len() int }
+
+// UnmarshalFunc turns a journal header back into a Batch.
+type UnmarshalFunc func([]byte) (Batch, error)
+
+var registry = map[string]UnmarshalFunc{}
+
+// Register wires a kind into the registry.
+func Register(kind string, fn UnmarshalFunc) {
+	registry[kind] = fn
+}

@@ -1,0 +1,95 @@
+// Package a seeds maporder violations — iteration order leaking into
+// slices, output, and order-sensitive reductions — next to each allowed
+// shape of the same idiom.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys leaks: the appended slice is never sorted.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out without sorting it afterwards`
+	}
+	return out
+}
+
+// SortedKeys is the approved collect-then-sort shape.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum leaks: float addition is order-sensitive.
+func Sum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `order-sensitive float64 reduction`
+	}
+	return sum
+}
+
+// Join leaks: string concatenation is order-sensitive.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `order-sensitive string reduction`
+	}
+	return s
+}
+
+// Count is allowed: integer accumulation is commutative and exact.
+func Count(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Print leaks through the fmt print family.
+func Print(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `writes output via fmt\.Println`
+	}
+}
+
+// Dump leaks through a writer method.
+func Dump(w io.Writer, m map[string]int) {
+	for k := range m {
+		w.Write([]byte(k)) // want `writes output via Write`
+	}
+}
+
+// Invert is allowed: each iteration writes an independent key.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Widths is allowed: the appended slice is local to the iteration, so
+// its order is per-element, not per-map.
+func Widths(m map[string][]string) int {
+	longest := 0
+	for _, vs := range m {
+		row := []int{}
+		for _, v := range vs {
+			row = append(row, len(v))
+		}
+		if len(row) > longest {
+			longest = len(row)
+		}
+	}
+	return longest
+}

@@ -1,0 +1,28 @@
+// Package a seeds noclock violations: wall-clock reads and global RNG
+// use in library code, next to the injected alternatives.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want `direct time\.Now`
+}
+
+// Age measures against the wall clock.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `direct time\.Since`
+}
+
+// Pick draws from the process-global source.
+func Pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn is process-shared state`
+}
+
+// Shard is the approved shape: an isolated, seedable generator.
+func Shard(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,10 @@
+// Package obs sits on an exempt path: it owns the clock, so it may read
+// the wall clock directly.
+package obs
+
+import "time"
+
+// Now is the one sanctioned wall-clock read.
+func Now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,33 @@
+// Package a seeds nofanout violations: every fan-out primitive outside
+// the exempt engine packages.
+package a
+
+import (
+	"sync"
+
+	"example.com/errgroup" // want `errgroup fan-out outside the sweep engine`
+)
+
+func work() {}
+
+// Spawn demonstrates the flagged shapes.
+func Spawn() {
+	var wg sync.WaitGroup // want `sync\.WaitGroup outside the sweep engine`
+	wg.Add(1)
+	go work() // want `raw go statement outside the sweep engine`
+	wg.Wait()
+}
+
+// Grouped drives the fake errgroup so the import is real.
+func Grouped() error {
+	var g errgroup.Group
+	g.Go(work)
+	return g.Wait()
+}
+
+// Detached shows the documented escape hatch: the directive suppresses
+// the diagnostic on the line below it.
+func Detached() {
+	//lint:allow nofanout detached fire-and-forget logger, no result flows through it
+	go work()
+}

@@ -1,0 +1,12 @@
+// Package errgroup is a fixture stand-in for golang.org/x/sync/errgroup:
+// just enough surface for a fixture to import and use it.
+package errgroup
+
+// Group mimics errgroup.Group's shape.
+type Group struct{}
+
+// Go records f; the fixture never runs anything.
+func (g *Group) Go(f func()) {}
+
+// Wait reports no error.
+func (g *Group) Wait() error { return nil }

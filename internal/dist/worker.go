@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"net/url"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Executor runs one work unit and returns exactly one NDJSON line per
@@ -69,6 +71,9 @@ type Worker struct {
 	// OnUnit, when non-nil, observes each successfully reported unit —
 	// sweepd uses it for the work-loop ticker.
 	OnUnit func(u Unit)
+	// Clock supplies the time base for the per-unit execution timing
+	// reported to the coordinator (nil = wall clock).
+	Clock obs.Clock
 }
 
 // Run leases and executes units until the coordinator reports the batch
@@ -179,9 +184,9 @@ func (w *Worker) runUnit(ctx context.Context, u Unit, ttl time.Duration) error {
 		}
 	}()
 
-	execStart := time.Now()
+	execStart := w.Clock.Now()
 	lines, execErr := w.Exec(uctx, u)
-	execMS := time.Since(execStart).Milliseconds()
+	execMS := w.Clock.Now().Sub(execStart).Milliseconds()
 	cancel()
 	<-hbDone // after this, lost is safely readable
 

@@ -27,6 +27,7 @@ func (f Figure) CSV() string {
 	fmt.Fprintf(&b, "series,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
 	for _, s := range f.Series {
 		for i := range s.X {
+			//lint:allow floatfmt CSV artifact schema is golden-pinned; axis values span orders of magnitude, so shortest-form is the contract here
 			fmt.Fprintf(&b, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i])
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/dist/journal"
@@ -112,7 +113,8 @@ func ScaleOf(e *Env) Scale {
 
 // String renders the scale for diagnostics.
 func (s Scale) String() string {
-	out := fmt.Sprintf("accesses=%d seed=%d min_r2=%g", s.Accesses, s.Seed, s.MinR2)
+	out := fmt.Sprintf("accesses=%d seed=%d min_r2=%s",
+		s.Accesses, s.Seed, strconv.FormatFloat(s.MinR2, 'f', -1, 64))
 	if s.Fidelity != "" {
 		out += " fidelity=" + s.Fidelity
 	}
