@@ -4,7 +4,7 @@ GO ?= go
 # top of the file.
 .DEFAULT_GOAL := ci
 
-.PHONY: help ci fmt tidy vet staticcheck lint build test race bench bench-compile bench-snapshot cover golden
+.PHONY: help ci fmt tidy vet staticcheck lint build test race bench bench-compile bench-snapshot cover golden docs
 
 # The perf-snapshot file for the current PR and the packages it records.
 # Bump SNAPSHOT per PR (BENCH_7.json, ...) so the repo keeps the
@@ -96,3 +96,10 @@ cover: ## run the suite with a coverage profile and print the total
 golden: ## regenerate the checked-in golden files
 	$(GO) test ./internal/scenario -run 'TestBatchGolden|TestStreamGolden' -update
 	$(GO) test ./internal/grid -run TestExpandGolden -update
+
+# docs regenerates docs/wire-protocol.md from the live protocol fixtures
+# in internal/docs (the same golden -update idiom as `make golden`). The
+# CI docs job runs the comparison, so a protocol change without a
+# regenerated doc fails CI.
+docs: ## regenerate docs/wire-protocol.md from live protocol fixtures
+	$(GO) test ./internal/docs -run TestWireProtocolDoc -update

@@ -32,6 +32,18 @@
 // result set from such a journal, because the journal — not any one run's
 // stdout — is the authoritative record across restarts.
 //
+// `sweepd serve -store DIR` replaces the one-shot coordinator with a
+// long-running multi-batch service: batches arrive over POST /v1/batches
+// (`sweepd submit`, which takes the same workload flags as serve and
+// streams the ordered results back with -results), any number of them
+// queue and run concurrently on one worker fleet, and every completed
+// line lands in a content-addressed result store under DIR — so
+// resubmitting an identical batch (or one overlapping a prior batch on
+// individual items) is served from cache without re-executing anything,
+// and restarting the service re-queues every stored batch exactly where
+// it left off. See docs/wire-protocol.md for the batch API and
+// docs/operations.md for the store layout.
+//
 // With -token on both sides the wire protocol requires `Authorization:
 // Bearer <token>` (401 otherwise) — the minimum gate before a coordinator
 // listens beyond one trusted host; put TLS in front for untrusted
@@ -46,8 +58,11 @@
 //	sweepd serve -f big.json -units 64 -checkpoint big.journal -resume > results.ndjson
 //	sweepd serve -grid examples/gridsweep/spec.json -units 32 > grid.ndjson
 //	sweepd serve -experiments -ids fig1,fig2 -token s3cret
+//	sweepd serve -store /var/lib/sweepd -addr :8080
 //	sweepd work -coordinator http://host:8080
 //	sweepd work -coordinator http://host:8080 -workers 4 -token s3cret -progress
+//	sweepd submit -coordinator http://host:8080 -f examples/scenarios.json -results > results.ndjson
+//	sweepd submit -coordinator http://host:8080 -grid spec.json -wait
 //	sweepd journal -f big.json -checkpoint big.journal > results.ndjson
 //	sweepd journal -grid examples/gridsweep/spec.json -checkpoint grid.journal > grid.ndjson
 //	sweepd journal -stat -checkpoint big.journal
@@ -78,11 +93,13 @@ import (
 	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/dist/journal"
+	"repro/internal/dist/store"
 	"repro/internal/exp"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/work"
 )
 
@@ -97,6 +114,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	return cli.Dispatch(ctx, "sweepd", []cli.Command{
 		{Name: "serve", Summary: "coordinate a distributed sweep and emit ordered NDJSON results", Run: runServe},
 		{Name: "work", Summary: "lease and execute work units from a coordinator", Run: runWork},
+		{Name: "submit", Summary: "submit a batch to a `serve -store` service and optionally stream its results", Run: runSubmit},
 		{Name: "journal", Summary: "reassemble the ordered NDJSON result set from a checkpoint journal", Run: runJournal},
 	}, args, stdin, stdout, stderr)
 }
@@ -231,6 +249,7 @@ type serveOptions struct {
 	lease       time.Duration
 	checkpoint  string
 	resume      bool
+	store       string
 	token       string
 	progress    bool
 	timeout     time.Duration
@@ -247,12 +266,16 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	fs.DurationVar(&o.lease, "lease", 30*time.Second, "lease TTL; a worker silent this long forfeits its unit")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "journal completed lines to this file")
 	fs.BoolVar(&o.resume, "resume", false, "replay the -checkpoint journal and serve only unfinished work")
+	fs.StringVar(&o.store, "store", "", "run as a multi-batch service backed by this result-store directory; batches arrive via `sweepd submit`, and restart resumes every stored batch")
 	fs.StringVar(&o.token, "token", "", "shared secret; workers must send it as Authorization: Bearer")
 	fs.BoolVar(&o.progress, "progress", false, "report per-item completion on stderr")
 	fs.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration (0 = unbounded)")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "also serve /metrics and /debug/pprof, unauthenticated, on this address (e.g. 127.0.0.1:9090; empty = off — workers' /metrics on -addr stays token-gated)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if o.store != "" {
+		return runServeStore(ctx, o, stderr)
 	}
 	if o.resume && o.checkpoint == "" {
 		fmt.Fprintln(stderr, "sweepd: -resume requires -checkpoint")
@@ -364,6 +387,263 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 		return cli.Report("sweepd", err, prog, stderr)
 	}
 	return 0
+}
+
+// runServeStore is `sweepd serve -store DIR`: the multi-batch service.
+// Unlike one-shot serve there is no workload on the command line —
+// batches arrive over POST /v1/batches (`sweepd submit`) and their
+// results live in the store, so the process emits no NDJSON on stdout
+// and runs until a signal (or -timeout) stops it. Every batch the store
+// has ever admitted is re-queued on start, so a crashed or restarted
+// service resumes exactly where the store left off.
+func runServeStore(ctx context.Context, o serveOptions, stderr io.Writer) int {
+	in := o.input
+	switch {
+	case in.file != "" || in.grid != "" || in.experiments || in.ids != "":
+		fmt.Fprintln(stderr, "sweepd: -store mode takes no workload flags (-f/-grid/-experiments/-ids); submit batches with `sweepd submit`")
+		return 2
+	case o.checkpoint != "" || o.resume:
+		fmt.Fprintln(stderr, "sweepd: -store replaces -checkpoint/-resume (the store journals every batch; restart resumes automatically)")
+		return 2
+	case !profile.ValidFidelity(in.fidelity):
+		fmt.Fprintf(stderr, "sweepd: unknown -fidelity %q (want %q or %q)\n",
+			in.fidelity, profile.FidelityTrace, profile.FidelityAnalytical)
+		return 2
+	}
+	if in.quick || in.accesses > 0 || in.fidelity != "" {
+		// The scale flags pin the process environment that experiment
+		// batches decoded from submissions hash against — the whole fleet
+		// (and every submitter) must declare the same scale.
+		exp.SetProcessEnv(func() *exp.Env { return experimentsEnv(in) })
+	}
+	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
+	defer cancel()
+
+	st, err := store.Open(o.store)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	svc, err := dist.NewService(ctx, dist.ServiceConfig{
+		Store: st, Units: o.units, LeaseTTL: o.lease, Metrics: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "sweepd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	defer svc.Close()
+	if active, complete := svc.Restore(); active+complete > 0 {
+		fmt.Fprintf(stderr, "sweepd: restored %d batches from %s (%d with work remaining)\n",
+			active+complete, o.store, active)
+	}
+	if o.metricsAddr != "" {
+		maddr, stopMetrics, err := obs.Serve(o.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "sweepd: metrics on http://%s/metrics\n", maddr)
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: dist.RequireToken(o.token, svc.Handler())}
+	defer srv.Close()
+	//lint:allow nofanout HTTP accept loop; lifecycle is owned by the deferred Close
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "sweepd: serving batch queue on http://%s (store %s)\n", ln.Addr(), o.store)
+
+	start := time.Now()
+	<-ctx.Done()
+	// A signal (or -timeout) is the service's normal shutdown; summarize
+	// what this process did in the manifest.
+	status := svc.Status()
+	man := cli.Manifest{Tool: "sweepd serve"}
+	for _, b := range status.Batches {
+		man.Items += b.N
+		man.ItemsRun += b.ItemsExecuted
+		man.ItemsResumed += b.ItemsCachedJournal + b.ItemsCachedIndex
+	}
+	man.Finish(start, nil, nil)
+	cli.EmitManifest(stderr, man)
+	fmt.Fprintf(stderr, "sweepd: service stopped, store %s holds %d batches\n", o.store, status.Store.Batches)
+	return 0
+}
+
+// submitOptions are the `sweepd submit` flags.
+type submitOptions struct {
+	input       inputOptions
+	coordinator string
+	token       string
+	wait        bool
+	results     bool
+	timeout     time.Duration
+}
+
+// runSubmit is `sweepd submit`: the client of a `serve -store` service.
+// It resolves a workload exactly as serve does (same flags, same hashes),
+// posts it to the service, and acknowledges the batch ID and cache
+// attribution on stderr. With -results it then streams the batch's
+// input-ordered NDJSON to stdout — byte-identical to the sequential run,
+// whether the lines were executed now or served from the store. With
+// -wait it polls until the batch reaches a terminal state. Either way the
+// exit status reflects the batch: 0 done, 1 failed or cancelled.
+func runSubmit(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepd submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o submitOptions
+	registerInputFlags(fs, &o.input)
+	fs.StringVar(&o.coordinator, "coordinator", "", "service base URL, e.g. http://host:8080 (required)")
+	fs.StringVar(&o.token, "token", "", "shared secret sent as Authorization: Bearer (match the service's -token)")
+	fs.BoolVar(&o.wait, "wait", false, "poll until the batch reaches a terminal state")
+	fs.BoolVar(&o.results, "results", false, "stream the batch's ordered NDJSON results to stdout (implies waiting for completion)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "give up after this duration (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.coordinator == "" {
+		fmt.Fprintln(stderr, "sweepd: submit requires -coordinator")
+		return 2
+	}
+	if !validateInput(o.input, stderr) {
+		return 2
+	}
+	ctx, cancel := cli.WithTimeout(ctx, o.timeout)
+	defer cancel()
+
+	b, noun, err := loadWorkBatch(o.input, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	payload, err := b.MarshalRange(sweep.Range{Lo: 0, Hi: b.Len()})
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	body, err := json.Marshal(map[string]json.RawMessage{
+		"kind":    json.RawMessage(fmt.Sprintf("%q", b.Kind())),
+		"payload": payload,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+
+	st, err := submitRequest(ctx, o, http.MethodPost, "/v1/batches", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepd:", err)
+		return 1
+	}
+	cached := st.ItemsCachedJournal + st.ItemsCachedIndex
+	fmt.Fprintf(stderr, "sweepd: batch %s: %d %s, %d cached, state %s\n",
+		st.ID, st.N, noun, cached, st.State)
+
+	if o.results {
+		if err := streamResults(ctx, o, st.ID, stdout); err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+	}
+	if o.results || o.wait {
+		final, err := waitTerminal(ctx, o, st.ID)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepd:", err)
+			return 1
+		}
+		if final.State != dist.BatchDone {
+			fmt.Fprintf(stderr, "sweepd: batch %s %s", final.ID, final.State)
+			if final.Error != "" {
+				fmt.Fprintf(stderr, ": %s", final.Error)
+			}
+			fmt.Fprintln(stderr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "sweepd: batch %s done (%d executed, %d cached)\n",
+			final.ID, final.ItemsExecuted, final.ItemsCachedJournal+final.ItemsCachedIndex)
+	}
+	return 0
+}
+
+// submitRequest performs one authenticated JSON request against the
+// service and decodes the BatchStatus it answers with.
+func submitRequest(ctx context.Context, o submitOptions, method, path string, body io.Reader) (dist.BatchStatus, error) {
+	var st dist.BatchStatus
+	req, err := http.NewRequestWithContext(ctx, method, o.coordinator+path, body)
+	if err != nil {
+		return st, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if o.token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return st, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return st, fmt.Errorf("%s", resp.Status)
+	}
+	return st, json.Unmarshal(data, &st)
+}
+
+// streamResults copies the batch's ordered NDJSON result stream to out.
+// The service holds the stream open while the batch runs, so this returns
+// when every line is delivered (or the batch goes terminal early).
+func streamResults(ctx context.Context, o submitOptions, id string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, o.coordinator+"/v1/batches/"+id+"/results", nil)
+	if err != nil {
+		return err
+	}
+	if o.token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("results: %s", resp.Status)
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
+// waitTerminal polls the batch until it leaves the queue.
+func waitTerminal(ctx context.Context, o submitOptions, id string) (dist.BatchStatus, error) {
+	for {
+		st, err := submitRequest(ctx, o, http.MethodGet, "/v1/batches/"+id, nil)
+		if err != nil || st.State == dist.BatchDone || st.State == dist.BatchFailed || st.State == dist.BatchCancelled {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
 }
 
 // workOptions are the worker flags.

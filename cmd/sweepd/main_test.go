@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dist/journal"
+	"repro/internal/dist/store"
 	"repro/internal/exp"
 	"repro/internal/grid"
 	"repro/internal/scenario"
@@ -447,6 +448,213 @@ func TestServeGridMatchesDriver(t *testing.T) {
 	}
 }
 
+var servingStoreRE = regexp.MustCompile(`serving batch queue on (http://[^\s]+)`)
+
+// startServeStore launches `sweepd serve -store` in a goroutine on an
+// ephemeral port and returns the service URL plus a wait func for (exit
+// code, stderr). The service runs until ctx is cancelled.
+func startServeStore(t *testing.T, ctx context.Context, dir string, extra ...string) (string, func() (int, string)) {
+	t.Helper()
+	stderr := &syncBuffer{}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("serve -store stderr:\n%s", stderr.String())
+		}
+	})
+	code := make(chan int, 1)
+	go func() {
+		args := append([]string{"serve", "-store", dir, "-addr", "127.0.0.1:0"}, extra...)
+		code <- run(ctx, args, strings.NewReader(""), &bytes.Buffer{}, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := servingStoreRE.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1], func() (int, string) {
+				select {
+				case c := <-code:
+					return c, stderr.String()
+				case <-time.After(30 * time.Second):
+					t.Fatalf("serve -store did not exit; stderr:\n%s", stderr.String())
+					return -1, ""
+				}
+			}
+		}
+		select {
+		case c := <-code:
+			t.Fatalf("serve -store exited %d before listening; stderr:\n%s", c, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve -store never announced its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runSubmitCmd runs one `sweepd submit` to completion.
+func runSubmitCmd(t *testing.T, ctx context.Context, url, stdin string, extra ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"submit", "-coordinator", url}, extra...)
+	code := run(ctx, args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestServeStoreServiceLifecycle is the binary-level tentpole test: a
+// `serve -store` service takes a batch over `sweepd submit -results`,
+// streams NDJSON byte-identical to the sequential run, serves an
+// identical resubmission from the store, leaves a journal `sweepd
+// journal` can reassemble (hash-verified against the same input), and —
+// after the service is stopped and restarted on the same store — serves
+// the batch again with no worker attached at all.
+func TestServeStoreServiceLifecycle(t *testing.T) {
+	b, err := scenario.LoadBatch(strings.NewReader(testBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := scenario.StreamNDJSON(t.Context(), b, scenario.StreamOptions{Workers: 1}, &want); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	sctx, stopServe := context.WithCancel(t.Context())
+	url, wait := startServeStore(t, sctx, dir, "-units", "3")
+
+	// A worker polls the service until we stop it; its exit is the
+	// cancellation, not a verdict.
+	wctx, stopWorker := context.WithCancel(t.Context())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runWorkCmd(t, wctx, url, "w0")
+	}()
+
+	code, stdout, stderr := runSubmitCmd(t, t.Context(), url, testBatch, "-results")
+	if code != 0 {
+		t.Fatalf("submit: exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != want.String() {
+		t.Errorf("submitted batch output differs from sequential:\n got: %q\nwant: %q", stdout, want.String())
+	}
+
+	// Resubmission to the live service: idempotent — the existing done
+	// batch answers immediately, still byte-identical.
+	code, stdout, stderr = runSubmitCmd(t, t.Context(), url, testBatch, "-results")
+	if code != 0 {
+		t.Fatalf("resubmit: exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != want.String() {
+		t.Errorf("resubmitted output differs:\n got: %q\nwant: %q", stdout, want.String())
+	}
+	if !strings.Contains(stderr, "state done") {
+		t.Errorf("resubmission ack must report the batch done: %q", stderr)
+	}
+	stopWorker()
+	wg.Wait()
+	stopServe()
+	if c, serveErr := wait(); c != 0 {
+		t.Fatalf("serve -store: exit %d, stderr:\n%s", c, serveErr)
+	} else if !strings.Contains(serveErr, `"manifest"`) {
+		t.Errorf("service left no manifest on stderr:\n%s", serveErr)
+	}
+
+	// Cross-read: the store's per-batch journal is a plain checkpoint
+	// journal — `sweepd journal` verifies its hash against the same input
+	// and reassembles the identical ordered result set.
+	hash, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, store.BatchID(b.Kind(), hash)+".journal")
+	var jout, jerr bytes.Buffer
+	if code := run(t.Context(), []string{"journal", "-checkpoint", jpath}, strings.NewReader(testBatch), &jout, &jerr); code != 0 {
+		t.Fatalf("journal over store entry: exit %d, stderr: %s", code, jerr.String())
+	}
+	if jout.String() != want.String() {
+		t.Errorf("journal reassembly of store entry differs:\n got: %q\nwant: %q", jout.String(), want.String())
+	}
+	// And the hash check still guards it: the wrong input is refused.
+	jerr.Reset()
+	other := `{"name":"other","l1_kb":64,"l2_kb":1024,"workload":"tpcc","accesses":20000}`
+	if code := run(t.Context(), []string{"journal", "-checkpoint", jpath}, strings.NewReader(other), &bytes.Buffer{}, &jerr); code != 1 ||
+		!strings.Contains(jerr.String(), "batch hash mismatch") {
+		t.Fatalf("journal with wrong input over store entry: exit %d, stderr %q", code, jerr.String())
+	}
+
+	// Restart on the same store: the batch is restored complete, so a
+	// workerless service serves it entirely from the store.
+	sctx2, stopServe2 := context.WithCancel(t.Context())
+	url2, wait2 := startServeStore(t, sctx2, dir)
+	code, stdout, stderr = runSubmitCmd(t, t.Context(), url2, testBatch, "-results")
+	if code != 0 {
+		t.Fatalf("submit after restart: exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != want.String() {
+		t.Errorf("restarted service output differs:\n got: %q\nwant: %q", stdout, want.String())
+	}
+	if !strings.Contains(stderr, "3 cached") || !strings.Contains(stderr, "state done") {
+		t.Errorf("restart ack must report the store hit: %q", stderr)
+	}
+	stopServe2()
+	if c, _ := wait2(); c != 0 {
+		t.Fatalf("restarted serve -store: exit %d", c)
+	}
+}
+
+// TestJournalReadsSingleProcessCheckpointInStore pins the other direction
+// of the format bridge at the binary level: a checkpoint journal written
+// by the single-process driver, dropped into a store directory under the
+// batch's ID, is adopted by a restarted service — submit finds the batch
+// born done without any worker.
+func TestJournalReadsSingleProcessCheckpointInStore(t *testing.T) {
+	b, err := scenario.LoadBatch(strings.NewReader(testBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt.journal")
+	jr, done, err := work.OpenJournal(ckpt, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := work.Run(t.Context(), b, work.Options{Workers: 1, Journal: jr, Done: done}, &want); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	dir := t.TempDir()
+	hash, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, store.BatchID(b.Kind(), hash)+".journal"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, stopServe := context.WithCancel(t.Context())
+	url, wait := startServeStore(t, sctx, dir)
+	code, stdout, stderr := runSubmitCmd(t, t.Context(), url, testBatch, "-results")
+	if code != 0 {
+		t.Fatalf("submit: exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != want.String() {
+		t.Errorf("adopted checkpoint served differently:\n got: %q\nwant: %q", stdout, want.String())
+	}
+	if !strings.Contains(stderr, "3 cached") {
+		t.Errorf("adoption ack must report the cache hit: %q", stderr)
+	}
+	stopServe()
+	if c, _ := wait(); c != 0 {
+		t.Fatalf("serve -store: exit %d", c)
+	}
+}
+
 // TestFlagAndDispatchErrors pins the CLI error contract.
 func TestFlagAndDispatchErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -495,6 +703,21 @@ func TestFlagAndDispatchErrors(t *testing.T) {
 	}
 	if code := run(t.Context(), []string{"bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-store", "d", "-f", "b.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -store with -f: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-store", "d", "-checkpoint", "j"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -store with -checkpoint: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"serve", "-store", "d", "-fidelity", "bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("serve -store with bad -fidelity: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"submit", "-f", "b.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("submit without -coordinator: exit %d, want 2", code)
+	}
+	if code := run(t.Context(), []string{"submit", "-coordinator", "http://x", "-ids", "fig1"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("submit -ids without -experiments: exit %d, want 2", code)
 	}
 }
 

@@ -1,48 +1,3 @@
-// Package dist distributes a sweep across processes and machines: a
-// coordinator splits an ordered batch into contiguous work units (via
-// sweep.Shards, so unit boundaries follow the same input-ordered shard
-// geometry every ordered reduction in this repository relies on), leases
-// units to workers over a small HTTP+JSON protocol, and reassembles the
-// workers' NDJSON result lines in input order — so distributed output is
-// byte-identical to the sequential run, the repository's core invariant
-// extended across process boundaries.
-//
-// The protocol is four POST endpoints plus a status probe, all JSON except
-// the result body, which is raw NDJSON (the same frame cmd/scenario
-// -stream emits):
-//
-//	POST /v1/lease      {"worker":ID}            -> {"done":bool,"unit":{...},"lease_ttl_ms":N,"retry_after_ms":N}
-//	POST /v1/heartbeat  {"worker":ID,"unit":N}   -> {"ok":true} | 409 {"error":"lease lost"}
-//	POST /v1/result?worker=ID&unit=N&exec_ms=T  <NDJSON>  -> {"accepted":true}
-//	POST /v1/fail       {"worker":ID,"unit":N,"error":S} -> {"ok":true}
-//	GET  /v1/status                              -> Status (progress, throughput, ETA, per-worker liveness, in-flight units)
-//	GET  /metrics                                -> Prometheus text exposition of the coordinator's dist_* families
-//
-// The worker's optional exec_ms on /v1/result reports the unit's measured
-// execution time; the coordinator falls back to lease age when it is
-// absent, so old workers interoperate. The status probe and the metrics
-// endpoint sit behind the same handler (and therefore the same
-// RequireToken gate) as the work protocol.
-//
-// Liveness is lease-based: a worker holds a unit for LeaseTTL and extends
-// it by heartbeating; when a worker dies mid-lease the lease expires and
-// the next lease request hands the unit to another worker. Results are
-// idempotent per item index — a re-leased unit reported by two workers
-// stores each line once (first arrival wins; the lines are byte-identical
-// anyway, because the work is deterministic) — so late results from a
-// presumed-dead worker are accepted, never duplicated.
-//
-// The coordinator optionally journals every completed line to a checkpoint
-// (internal/dist/journal); restarting it with the replayed lines skips
-// finished items entirely, and units whose whole range was already
-// journaled are never leased again.
-//
-// Payload kinds are not this package's business: SpecOf turns any
-// work.Batch into a coordinator spec, and RegistryExecutor resolves units
-// back into runnable batches through the work registry — adding a workload
-// kind requires no change here. RequireToken optionally gates the protocol
-// behind a shared secret for coordinators listening beyond one trusted
-// host.
 package dist
 
 import (
@@ -66,6 +21,12 @@ type Unit struct {
 	Kind string `json:"kind"`
 	// Payload is the kind-specific work description.
 	Payload json.RawMessage `json:"payload"`
+	// Batch identifies the batch this unit belongs to in service mode
+	// (the store's kind-hash batch ID); workers echo it on heartbeats,
+	// results, and failure reports so a multi-batch service can route
+	// them. One-shot coordinators leave it empty, and the field is
+	// omitted — the single-batch protocol is unchanged on the wire.
+	Batch string `json:"batch,omitempty"`
 }
 
 // Spec describes a divisible batch to the coordinator: how many ordered
@@ -117,19 +78,23 @@ type LeaseResponse struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-// heartbeatRequest is the body of POST /v1/heartbeat.
+// heartbeatRequest is the body of POST /v1/heartbeat. Batch scopes the
+// unit ID in service mode; one-shot coordinators ignore it.
 type heartbeatRequest struct {
 	Worker string `json:"worker"`
 	Unit   int    `json:"unit"`
+	Batch  string `json:"batch,omitempty"`
 }
 
 // failRequest is the body of POST /v1/fail: a deterministic execution
 // failure that should abort the whole batch (retrying deterministic work
-// elsewhere would only fail again).
+// elsewhere would only fail again). Batch scopes the unit ID in service
+// mode, where the failure aborts that one batch, not the service.
 type failRequest struct {
 	Worker string `json:"worker"`
 	Unit   int    `json:"unit"`
 	Error  string `json:"error"`
+	Batch  string `json:"batch,omitempty"`
 }
 
 // Status is the GET /v1/status snapshot — the operator probe for a long

@@ -173,7 +173,7 @@ func (w *Worker) runUnit(ctx context.Context, u Unit, ttl time.Duration) error {
 				return
 			case <-ticker.C:
 				var ok map[string]bool
-				if err := w.post(uctx, "/v1/heartbeat", heartbeatRequest{Worker: w.ID, Unit: u.ID}, &ok); err != nil {
+				if err := w.post(uctx, "/v1/heartbeat", heartbeatRequest{Worker: w.ID, Unit: u.ID, Batch: u.Batch}, &ok); err != nil {
 					if uctx.Err() == nil {
 						lost = true
 						cancel()
@@ -211,7 +211,7 @@ func (w *Worker) runUnit(ctx context.Context, u Unit, ttl time.Duration) error {
 		// batch instead of re-leasing the unit forever.
 		msg := execErr.Error()
 		var ok map[string]bool
-		if err := w.post(ctx, "/v1/fail", failRequest{Worker: w.ID, Unit: u.ID, Error: msg}, &ok); err != nil {
+		if err := w.post(ctx, "/v1/fail", failRequest{Worker: w.ID, Unit: u.ID, Error: msg, Batch: u.Batch}, &ok); err != nil {
 			return fmt.Errorf("dist: worker %s: unit %d failed (%s); reporting the failure also failed: %w", w.ID, u.ID, msg, err)
 		}
 		return fmt.Errorf("dist: worker %s: unit %d: %s", w.ID, u.ID, msg)
@@ -243,6 +243,9 @@ func (w *Worker) postResult(ctx context.Context, u Unit, lines [][]byte, execMS 
 	// The worker ID is free-form operator input (-id); escape it so an
 	// '&' or space cannot corrupt the query string.
 	target := fmt.Sprintf("%s/v1/result?worker=%s&unit=%d&exec_ms=%d", w.Coordinator, url.QueryEscape(w.ID), u.ID, execMS)
+	if u.Batch != "" {
+		target += "&batch=" + url.QueryEscape(u.Batch)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
 	if err != nil {
 		return err

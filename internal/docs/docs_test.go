@@ -1,0 +1,77 @@
+package docs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite docs/wire-protocol.md from the live fixtures")
+
+// TestWireProtocolDoc regenerates the wire-protocol document from live
+// fixtures and compares it against the committed file. `go test
+// ./internal/docs -update` (the `make docs` target) rewrites it; CI
+// runs the comparison, so the committed doc can never drift from the
+// protocol the handlers actually speak.
+func TestWireProtocolDoc(t *testing.T) {
+	got, err := WireProtocol(t.Context(), t.TempDir())
+	if err != nil {
+		t.Fatalf("WireProtocol: %v", err)
+	}
+	path := filepath.Join("..", "..", "docs", "wire-protocol.md")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run `make docs` to generate it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s is stale: the captured protocol no longer matches the committed doc.\nRun `make docs` and commit the result.\n%s",
+			path, firstDiff(want, got))
+	}
+}
+
+// TestWireProtocolDeterministic pins the generator itself: two runs in
+// fresh stores must produce identical bytes, or `make docs` would churn
+// the committed file on every invocation.
+func TestWireProtocolDeterministic(t *testing.T) {
+	a, err := WireProtocol(t.Context(), t.TempDir())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := WireProtocol(t.Context(), t.TempDir())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("generator is nondeterministic:\n%s", firstDiff(a, b))
+	}
+}
+
+// firstDiff renders the first differing line of two documents for a
+// readable failure message.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first difference at line %d:\n  committed: %s\n  generated: %s", i+1, w, g)
+		}
+	}
+	return "documents differ only in length"
+}

@@ -1,0 +1,61 @@
+package docs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// linkRE matches inline markdown links: [text](target). Reference-style
+// links are not used in this repo's docs.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks checks every relative link in the maintained docs
+// (README, ROADMAP, docs/*.md) against the working tree, so a renamed
+// file or a typo'd path fails CI instead of 404ing a reader. External
+// URLs and pure anchors are skipped — no network in tests.
+func TestMarkdownLinks(t *testing.T) {
+	root := filepath.Join("..", "..")
+	files := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "ROADMAP.md"),
+	}
+	docGlob, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docGlob...)
+	if len(docGlob) == 0 {
+		t.Fatal("no docs/*.md found — wrong working directory?")
+	}
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found — the checker is matching nothing")
+	}
+}

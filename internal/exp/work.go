@@ -188,6 +188,21 @@ func (b *Batch) DescribeFidelity() string {
 	return profile.FidelityTrace
 }
 
+// ItemKey implements work.ItemKeyer: the content identity of one
+// experiment line — "exp/" plus the environment-scale hash plus the
+// artifact ID. An experiment's bytes depend on its ID and the scale it
+// runs at and nothing else, so two batches selecting the same artifact at
+// the same scale share the key (and the line) regardless of what else
+// each batch contains — the dist store then serves the overlap from
+// cache.
+func (b *Batch) ItemKey(i int) (string, error) {
+	h, err := journal.Hash(b.scale())
+	if err != nil {
+		return "", err
+	}
+	return "exp/" + h + "/" + b.ids[i], nil
+}
+
 // RunItem executes experiment i against the batch's environment and
 // returns its compact Line.
 func (b *Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {

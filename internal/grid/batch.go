@@ -159,6 +159,21 @@ func (b *Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
 	return res.NDJSONLine()
 }
 
+// ItemKey implements work.ItemKeyer: the content identity of one grid
+// point — "scenario/" plus the hash of the expanded, defaulted config,
+// the very key scenario.Batch.ItemKey computes for an equal config. A
+// grid point's RunItem line is indistinguishable from the equivalent
+// scenario's, so the shared namespace is sound, and it is what lets the
+// dist store serve a grid whose points overlap a prior grid (or a prior
+// hand-written batch) without re-simulating the overlap.
+func (b *Batch) ItemKey(i int) (string, error) {
+	h, err := journal.Hash(b.ConfigAt(i))
+	if err != nil {
+		return "", err
+	}
+	return "scenario/" + h, nil
+}
+
 // DescribeFidelity implements work.FidelityDescriber: the single
 // miss-matrix fidelity every point of the grid shares, or "mixed" when a
 // fidelity axis varies it — a metrics label only, never part of the wire

@@ -1,50 +1,3 @@
-// Package grid turns a compact JSON document of design-space axes into a
-// full factorial sweep over scenario configurations — the paper's central
-// artifact (L1/L2 capacities × assignment scheme × workload × AMAT budget
-// grids) as a first-class workload instead of a hand-enumerated scenario
-// list. A grid.Spec declares axes over the existing scenario.Config
-// fields; Expand resolves the cross product deterministically (row-major
-// over a documented axis order) into a grid.Batch, which implements
-// work.Batch — so streaming, checkpoint/resume, and sweepd distribution
-// come from the unified driver with no new execution code.
-//
-// Expansion is lazy: a Batch stores the spec and a point range, never a
-// point slab, and computes point i's config on demand from the row-major
-// index arithmetic. Memory is O(in-flight points) — the worker count of
-// the run — not O(grid), which is what lets HardMaxPoints sit in the
-// tens of millions.
-//
-// The document is a top-level "grid" object:
-//
-//	{
-//	  "grid": {
-//	    "name": "g-l1{l1_kb}-l2{l2_kb}-{workload}-s{scheme}",
-//	    "axes": {
-//	      "l1_kb":   [16, 32],
-//	      "l2_kb":   [256, 512, 1024],
-//	      "workload": ["tpcc", "spec2000"],
-//	      "scheme":  [2, 3]
-//	    },
-//	    "base": {"accesses": 60000},
-//	    "max_points": 4096
-//	  }
-//	}
-//
-// Axes may cover l1_kb, l2_kb, workload, scheme, amat_budget_ps,
-// fast_memory, and fidelity. Every other scenario field (and any axed
-// field the spec omits) comes from "base", an ordinary scenario config
-// without a name.
-// Expansion is row-major over the canonical axis order — l1_kb, l2_kb,
-// workload, scheme, amat_budget_ps, fast_memory, fidelity, later axes
-// varying faster; the declaration order of the JSON keys is irrelevant —
-// so point order is a pure function of the spec.
-// Each point's name renders from the "name" template (placeholders are
-// the axis field names in braces; fast_memory renders as "fast"/"slow");
-// expanded names must be unique, which forces the template to mention
-// every axis that actually varies — checked analytically at Validate,
-// without expanding anything. Grids larger than max_points (default
-// DefaultMaxPoints, hard-capped at HardMaxPoints) are refused at
-// expansion, before any simulation runs.
 package grid
 
 import (

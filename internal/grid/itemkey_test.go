@@ -1,0 +1,64 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/work"
+)
+
+// TestItemKeyMatchesEquivalentScenario pins the cross-kind half of the
+// work.ItemKeyer contract: a grid point and a hand-written scenario that
+// expand/default to the same config share one item key, so the dist store
+// can serve either from results produced by the other. The scenario batch
+// is loaded from JSON (exercising LoadBatch defaulting), not copied from
+// the grid's expansion.
+func TestItemKeyMatchesEquivalentScenario(t *testing.T) {
+	gb := loadTiny(t)
+	// The hand-written equivalent of grid point 1: (16, 512) under the
+	// generated name, defaults spelled out only where the JSON form needs
+	// them.
+	sb, err := scenario.LoadBatch(strings.NewReader(`{"scenarios":[
+		{"name":"g-l116-l2512-tpcc-s2","l1_kb":16,"l2_kb":512,"workload":"tpcc","accesses":20000}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk, err := gb.ItemKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := sb.ItemKey(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk != sk {
+		t.Fatalf("grid point key %q != equivalent scenario key %q", gk, sk)
+	}
+	if !strings.HasPrefix(gk, "scenario/") {
+		t.Fatalf("key %q not in the scenario/ namespace", gk)
+	}
+	// A different point must not collide.
+	gk0, err := gb.ItemKey(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk0 == gk {
+		t.Fatalf("distinct points share key %q", gk)
+	}
+}
+
+// TestItemKeyerCoverage pins which kinds implement work.ItemKeyer — the
+// grid and scenario kinds must, or overlap caching silently degrades to
+// whole-batch-only hits.
+func TestItemKeyerCoverage(t *testing.T) {
+	var b work.Batch = loadTiny(t)
+	if _, ok := b.(work.ItemKeyer); !ok {
+		t.Fatal("grid.Batch does not implement work.ItemKeyer")
+	}
+	var s work.Batch = scenario.Batch{}
+	if _, ok := s.(work.ItemKeyer); !ok {
+		t.Fatal("scenario.Batch does not implement work.ItemKeyer")
+	}
+}

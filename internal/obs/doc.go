@@ -1,0 +1,23 @@
+// Package obs is the repository's zero-dependency metrics layer: labeled
+// counters, gauges, and histograms with a Prometheus text-format endpoint
+// (Handler) and a structured snapshot API for tests. Every execution layer
+// — the unified work driver, the dist coordinator and service, the
+// long-running CLIs — records into a Registry; nothing here ever touches
+// result bytes, so the repository's byte-identical-output invariant is
+// untouched by instrumentation (the equivalence suite pins this with
+// metrics enabled). The complete catalogue of metric families the
+// binaries expose, and how to operate on them, is docs/operations.md.
+//
+// The hot path is allocation-free after setup: a Vec resolves its labeled
+// series once (With), and the returned handle records with a few atomic
+// operations — cheap enough that work.Run instruments every item
+// (BenchmarkObsOverhead in internal/work keeps the driver overhead honest).
+// Reads (Snapshot, Handler) are lock-light and safe to call concurrently
+// with writers; a scrape observes each series at some point during the
+// scrape, not a single global instant, which is the standard contract for
+// lock-free metrics.
+//
+// Clock is the injectable time source the noclock analyzer demands
+// everywhere outside internal/cli, internal/obs, and cmd: a nil Clock's
+// Now() falls back to time.Now, so zero-valued structs stay safe.
+package obs

@@ -1,19 +1,3 @@
-// Package obs is the repository's zero-dependency metrics layer: labeled
-// counters, gauges, and histograms with a Prometheus text-format endpoint
-// (Handler) and a structured snapshot API for tests. Every execution layer
-// — the unified work driver, the dist coordinator, the long-running CLIs —
-// records into a Registry; nothing here ever touches result bytes, so the
-// repository's byte-identical-output invariant is untouched by
-// instrumentation (the equivalence suite pins this with metrics enabled).
-//
-// The hot path is allocation-free after setup: a Vec resolves its labeled
-// series once (With), and the returned handle records with a few atomic
-// operations — cheap enough that work.Run instruments every item
-// (BenchmarkObsOverhead in internal/work keeps the driver overhead honest).
-// Reads (Snapshot, Handler) are lock-light and safe to call concurrently
-// with writers; a scrape observes each series at some point during the
-// scrape, not a single global instant, which is the standard contract for
-// lock-free metrics.
 package obs
 
 import (

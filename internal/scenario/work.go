@@ -65,6 +65,19 @@ func (b Batch) RunItem(ctx context.Context, i int) (json.RawMessage, error) {
 	return res.NDJSONLine()
 }
 
+// ItemKey implements work.ItemKeyer: the content identity of one scenario
+// result line — "scenario/" plus the hash of the defaulted config. A grid
+// point that expands to an equal config shares the key (and therefore, by
+// the ItemKeyer contract, the line), which is what lets the dist store
+// serve an overlapping grid from cached scenario results and vice versa.
+func (b Batch) ItemKey(i int) (string, error) {
+	h, err := journal.Hash(b.Scenarios[i])
+	if err != nil {
+		return "", err
+	}
+	return "scenario/" + h, nil
+}
+
 // DescribeFidelity implements work.FidelityDescriber: the miss-matrix
 // fidelity all scenarios share ("" renders as its effective meaning,
 // trace), or "mixed" when they disagree — a metrics label only, never

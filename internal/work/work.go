@@ -1,25 +1,3 @@
-// Package work is the repository's unified workload API: one Batch
-// abstraction that every payload kind — scenario batches, experiment sets,
-// whatever comes next — implements once, and one generic driver that then
-// gives that kind sequential and parallel execution, NDJSON streaming,
-// journal checkpoint/resume, and (through internal/dist) distribution
-// across processes and machines, all preserving the repository's core
-// invariant: output is byte-identical to the sequential run.
-//
-// A Batch is an ordered list of independent items. Each item renders to
-// exactly one compact NDJSON line (RunItem), the whole batch has a
-// canonical content hash (Hash) that pins checkpoint journals and
-// distributed runs to their input, and any contiguous index range can be
-// marshalled to a self-contained wire payload (MarshalRange) and turned
-// back into a runnable Batch by the kind registry (Register/Unmarshal) —
-// which is how a distributed work unit travels to a worker that shares
-// nothing with the coordinator.
-//
-// Adding a workload kind is therefore one file in its own package:
-// implement Batch, call Register in init, and the kind immediately works
-// with `scenario`-style streaming, `-checkpoint/-resume`, and `sweepd`
-// distribution. The driver (Run, Collect) and the executors built on the
-// registry (dist.RegistryExecutor) never change.
 package work
 
 import (
@@ -79,6 +57,22 @@ type UnmarshalFunc func(payload json.RawMessage) (Batch, error)
 // grids) simply do not implement it.
 type EnvDescriber interface {
 	DescribeEnv() (json.RawMessage, error)
+}
+
+// ItemKeyer is an optional Batch extension for kinds whose items carry a
+// content identity of their own, finer than the batch hash. ItemKey
+// returns a stable key for item i with one contract: two items with equal
+// keys — in any two batches, of any two kinds — produce byte-identical
+// RunItem lines. Keys are namespaced by the line schema they identify
+// ("scenario/..." for scenario result lines, "exp/..." for experiment
+// tables), never by the batch kind: a grid point and the equivalent
+// hand-written scenario share a key precisely because they share a line.
+// The dist store's per-item index is built on this contract — it is what
+// lets an overlapping grid reuse a prior grid's points instead of
+// re-simulating them. Kinds without a per-item identity simply do not
+// implement it and only ever hit the cache on whole-batch resubmission.
+type ItemKeyer interface {
+	ItemKey(i int) (string, error)
 }
 
 // registry maps kind names to their payload decoders. Kinds register from
